@@ -1,0 +1,357 @@
+package toreador
+
+// bench_test.go is the benchmark harness that regenerates every table and
+// figure of the experiment suite (DESIGN.md §3, EXPERIMENTS.md). Each
+// Benchmark* function drives the corresponding experiment in
+// internal/experiments and reports its headline numbers as benchmark metrics,
+// so `go test -bench=. -benchmem` reproduces the full evaluation. The
+// cmd/toreador-bench command prints the same experiments as human-readable
+// tables.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/labs"
+	"repro/internal/planner"
+	"repro/internal/workload"
+)
+
+// benchSizing keeps the synthetic datasets small enough that the whole bench
+// suite completes in a couple of minutes while still exercising every code
+// path with real computation.
+var benchSizing = workload.Sizing{Customers: 800, Meters: 4, Days: 5, Users: 100}
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(1, benchSizing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkTable1ChallengeCatalog enumerates the design space of every Labs
+// challenge (Table 1).
+func BenchmarkTable1ChallengeCatalog(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var last *experiments.Table1
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	total, compliant := 0, 0
+	for _, r := range last.Rows {
+		total += r.Alternatives
+		compliant += r.CompliantAlternatives
+	}
+	b.ReportMetric(float64(total), "alternatives")
+	b.ReportMetric(float64(compliant), "compliant")
+}
+
+// BenchmarkTable2AlternativeComparison executes one alternative per
+// classifier of the churn challenge and compares the measured indicators
+// (Table 2).
+func BenchmarkTable2AlternativeComparison(b *testing.B) {
+	env := benchEnv(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last *experiments.Table2
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable2(ctx, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	best, worst := 0.0, 1.0
+	for _, r := range last.Rows {
+		if !r.Compliant {
+			continue
+		}
+		if r.Accuracy > best {
+			best = r.Accuracy
+		}
+		if r.Accuracy < worst {
+			worst = r.Accuracy
+		}
+	}
+	b.ReportMetric(best, "best_accuracy")
+	b.ReportMetric(worst, "worst_accuracy")
+	b.ReportMetric(float64(len(last.Rows)), "alternatives_run")
+}
+
+// BenchmarkFigure1Interference sweeps the privacy regime for the churn and
+// fraud challenges (Figure 1).
+func BenchmarkFigure1Interference(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var last *experiments.Figure1
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	churn := last.Points["telco-churn"]
+	b.ReportMetric(float64(churn[0].CompliantAlternatives), "compliant_at_none")
+	b.ReportMetric(float64(churn[len(churn)-1].CompliantAlternatives), "compliant_at_strict")
+}
+
+// BenchmarkFigure2EngineScalability sweeps workers and input sizes over the
+// representative dataflow pipeline (Figure 2).
+func BenchmarkFigure2EngineScalability(b *testing.B) {
+	env := benchEnv(b)
+	ctx := context.Background()
+	workers := []int{1, 2, 4, 8}
+	rows := []int{20000, 80000}
+	b.ResetTimer()
+	var last *experiments.Figure2
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure2(ctx, env, workers, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	maxSpeedup := 0.0
+	for _, p := range last.Points {
+		if p.SpeedupVs1 > maxSpeedup {
+			maxSpeedup = p.SpeedupVs1
+		}
+	}
+	b.ReportMetric(maxSpeedup, "max_speedup")
+}
+
+// BenchmarkTable3PlannerBaseline compares the model-driven planner against
+// the greedy heuristic and the manual random baseline (Table 3).
+func BenchmarkTable3PlannerBaseline(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var last *experiments.Table3
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	var exhaustive, random float64
+	var n float64
+	for _, r := range last.Rows {
+		switch r.Strategy {
+		case planner.StrategyExhaustive:
+			exhaustive += r.EffectiveScore
+			n++
+		case planner.StrategyRandom:
+			random += r.EffectiveScore
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(exhaustive/n, "exhaustive_score")
+		b.ReportMetric(random/n, "random_score")
+	}
+}
+
+// BenchmarkFigure3DeploymentCrossover sweeps the event volume and compares
+// batch and streaming deployments against the fraud challenge's freshness SLA
+// (Figure 3).
+func BenchmarkFigure3DeploymentCrossover(b *testing.B) {
+	env := benchEnv(b)
+	rows := []int{1000, 10_000, 100_000, 1_000_000, 5_000_000}
+	b.ResetTimer()
+	var last *experiments.Figure3
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure3(env, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	crossover := 0.0
+	for _, p := range last.Points {
+		if p.StreamMeetsSLA && !p.BatchMeetsSLA {
+			crossover = float64(p.Rows)
+			break
+		}
+	}
+	b.ReportMetric(crossover, "crossover_rows")
+}
+
+// BenchmarkTable4CompilationCost measures per-phase compilation cost against
+// the cost of executing the chosen pipeline (Table 4).
+func BenchmarkTable4CompilationCost(b *testing.B) {
+	env := benchEnv(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last *experiments.Table4
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable4(ctx, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	var compileMS, execMS float64
+	for _, r := range last.Rows {
+		compileMS += float64(r.TotalCompile.Microseconds()) / 1000
+		execMS += float64(r.Execution.Microseconds()) / 1000
+	}
+	b.ReportMetric(compileMS, "compile_ms_total")
+	b.ReportMetric(execMS, "execute_ms_total")
+}
+
+// BenchmarkFigure4TrialAndError simulates trainee learning curves on the
+// churn challenge (Figure 4).
+func BenchmarkFigure4TrialAndError(b *testing.B) {
+	env := benchEnv(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last *experiments.Figure4
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure4(ctx, env, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	guided := last.Curves[labs.TraineeGuided]
+	random := last.Curves[labs.TraineeRandom]
+	b.ReportMetric(guided[0], "guided_first_attempt")
+	b.ReportMetric(random[0], "random_first_attempt")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core BDAaaS operations (ablation-level detail).
+// ---------------------------------------------------------------------------
+
+func benchPlatformAndCampaign(b *testing.B) (*Platform, *Campaign) {
+	b.Helper()
+	p, err := New(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.RegisterScenario(VerticalTelco, Sizing{Customers: 800}); err != nil {
+		b.Fatal(err)
+	}
+	campaign := &Campaign{
+		Name:     "bench-churn",
+		Vertical: string(VerticalTelco),
+		Goal: Goal{
+			Task:           TaskClassification,
+			TargetTable:    "telco_customers",
+			LabelColumn:    "churned",
+			FeatureColumns: []string{"tenure_months", "monthly_charge", "support_calls", "dropped_calls"},
+		},
+		Sources: []DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []Objective{
+			{Indicator: IndicatorAccuracy, Comparison: AtLeast, Target: 0.75, Hard: true},
+			{Indicator: IndicatorCost, Comparison: AtMost, Target: 2},
+		},
+		Regime: RegimePseudonymize,
+	}
+	return p, campaign
+}
+
+// BenchmarkCompileCampaign measures the full model-driven compilation
+// (enumerate + select) of the churn campaign.
+func BenchmarkCompileCampaign(b *testing.B) {
+	p, campaign := benchPlatformAndCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Compile(campaign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateAlternatives measures design-space enumeration alone.
+func BenchmarkEnumerateAlternatives(b *testing.B) {
+	p, campaign := benchPlatformAndCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Alternatives(campaign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteChosenPipeline measures running the chosen pipeline
+// (preparation + training + evaluation) on the simulated cluster.
+func BenchmarkExecuteChosenPipeline(b *testing.B) {
+	p, campaign := benchPlatformAndCampaign(b)
+	result, err := p.Compile(campaign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(ctx, campaign, result.Chosen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterferenceSweep measures the regime sweep used by Figure 1.
+func BenchmarkInterferenceSweep(b *testing.B) {
+	p, campaign := benchPlatformAndCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Interference(campaign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures synthetic scenario generation, the
+// substrate every experiment depends on.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen := workload.NewGenerator(int64(i + 1))
+		if _, err := gen.Generate(workload.VerticalTelco, workload.Sizing{Customers: 800, Meters: 1, Days: 1, Users: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComplianceEvaluation measures a single compliance evaluation, the
+// inner loop of alternative elaboration.
+func BenchmarkComplianceEvaluation(b *testing.B) {
+	p, campaign := benchPlatformAndCampaign(b)
+	alternatives, err := p.Alternatives(campaign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Re-evaluate the chosen alternative's objectives as a proxy for the
+	// planner's scoring loop (pure CPU, no I/O).
+	var decisions int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := p.Plan(campaign, StrategyExhaustive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Feasible {
+			decisions++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(alternatives)), "alternatives")
+	b.ReportMetric(float64(decisions), "feasible_decisions")
+}

@@ -1,0 +1,127 @@
+// Command toreador-bench regenerates every table and figure of the
+// reproduction's experiment suite (see DESIGN.md §3 and EXPERIMENTS.md) and
+// prints them to stdout. The root bench_test.go exercises the same
+// experiments as testing.B benchmarks; this command is the human-readable
+// front end.
+//
+// Usage:
+//
+//	toreador-bench                 # all experiments, default sizing
+//	toreador-bench -only table2    # a single experiment
+//	toreador-bench -customers 5000 # larger synthetic datasets
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toreador-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("toreador-bench", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 1, "seed for data generation and execution")
+		customers = fs.Int("customers", 1500, "scenario sizing: customers/baskets/transactions")
+		meters    = fs.Int("meters", 6, "scenario sizing: smart meters")
+		days      = fs.Int("days", 7, "scenario sizing: days of readings")
+		users     = fs.Int("users", 150, "scenario sizing: clickstream users")
+		attempts  = fs.Int("attempts", 5, "attempts per simulated trainee (figure 4)")
+		only      = fs.String("only", "", "run a single experiment: table1|table2|table3|table4|figure1|figure2|figure3|figure4")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(*seed, workload.Sizing{
+		Customers: *customers, Meters: *meters, Days: *days, Users: *users,
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	ran := 0
+
+	if want("table1") {
+		t, err := experiments.RunTable1(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.String())
+		ran++
+	}
+	if want("table2") {
+		t, err := experiments.RunTable2(ctx, env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.String())
+		ran++
+	}
+	if want("figure1") {
+		f, err := experiments.RunFigure1(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f.String())
+		ran++
+	}
+	if want("figure2") {
+		f, err := experiments.RunFigure2(ctx, env, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f.String())
+		ran++
+	}
+	if want("table3") {
+		t, err := experiments.RunTable3(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.String())
+		ran++
+	}
+	if want("figure3") {
+		f, err := experiments.RunFigure3(env, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f.String())
+		ran++
+	}
+	if want("table4") {
+		t, err := experiments.RunTable4(ctx, env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.String())
+		ran++
+	}
+	if want("figure4") {
+		f, err := experiments.RunFigure4(ctx, env, *attempts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f.String())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

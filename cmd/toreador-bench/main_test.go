@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallArgs keeps generated data tiny so the CLI tests stay fast.
+func smallArgs(extra ...string) []string {
+	base := []string{"-customers", "250", "-meters", "2", "-days", "3", "-users", "40", "-attempts", "2"}
+	return append(base, extra...)
+}
+
+func runBenchCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestBenchCLISingleExperiment(t *testing.T) {
+	out, err := runBenchCLI(t, smallArgs("-only", "table1")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("output missing Table 1:\n%s", out)
+	}
+	if strings.Contains(out, "Table 3") {
+		t.Error("-only table1 must not run other experiments")
+	}
+}
+
+func TestBenchCLIUnknownExperiment(t *testing.T) {
+	if _, err := runBenchCLI(t, smallArgs("-only", "table99")...); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestBenchCLICheapExperiments(t *testing.T) {
+	// Run the cheap, non-execution experiments in one go to keep CI time low;
+	// the full suite is exercised by bench_test.go and internal/experiments.
+	for _, only := range []string{"figure1", "figure3", "table3"} {
+		out, err := runBenchCLI(t, smallArgs("-only", only)...)
+		if err != nil {
+			t.Fatalf("%s: %v", only, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", only)
+		}
+	}
+}
+
+func TestBenchCLIFlagParsing(t *testing.T) {
+	if _, err := runBenchCLI(t, "-not-a-flag"); err == nil {
+		t.Error("bad flags must fail")
+	}
+}

@@ -1,0 +1,147 @@
+// Command toreador-labs is the trainee-facing CLI of TOREADOR Labs: it lists
+// the available challenges, shows their narratives and design alternatives,
+// executes attempts, and simulates whole training sessions.
+//
+// Usage:
+//
+//	toreador-labs list
+//	toreador-labs show telco-churn
+//	toreador-labs attempt telco-churn 3 -trainee alice
+//	toreador-labs simulate telco-churn -attempts 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	toreador "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toreador-labs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("toreador-labs", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 1, "seed for scenario generation")
+		customers = fs.Int("customers", 1000, "scenario sizing")
+		trainee   = fs.String("trainee", "trainee", "trainee name recorded for attempts")
+		attempts  = fs.Int("attempts", 5, "number of attempts for the simulate command")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("missing command: one of list, show, attempt, simulate")
+	}
+	lab, err := toreador.OpenLab(*seed, toreador.Sizing{Customers: *customers})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	switch fs.Arg(0) {
+	case "list":
+		return doList(out, lab)
+	case "show":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("show requires a challenge id")
+		}
+		return doShow(out, lab, fs.Arg(1))
+	case "attempt":
+		if fs.NArg() < 3 {
+			return fmt.Errorf("attempt requires a challenge id and an alternative index")
+		}
+		idx, err := strconv.Atoi(fs.Arg(2))
+		if err != nil {
+			return fmt.Errorf("alternative index: %w", err)
+		}
+		return doAttempt(ctx, out, lab, *trainee, fs.Arg(1), idx)
+	case "simulate":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("simulate requires a challenge id")
+		}
+		return doSimulate(ctx, out, lab, fs.Arg(1), *attempts, *seed)
+	default:
+		return fmt.Errorf("unknown command %q", fs.Arg(0))
+	}
+}
+
+func doList(out io.Writer, lab *toreador.Lab) error {
+	fmt.Fprintln(out, "TOREADOR Labs challenges:")
+	for _, ch := range lab.Challenges() {
+		fmt.Fprintf(out, "  %-16s %-45s vertical=%-8s regime=%s\n",
+			ch.ID, ch.Title, ch.Vertical, ch.Campaign.Regime)
+	}
+	return nil
+}
+
+func doShow(out io.Writer, lab *toreador.Lab, id string) error {
+	ch, err := lab.Challenge(id)
+	if err != nil {
+		return err
+	}
+	alternatives, err := lab.Alternatives(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s — %s\n\n%s\n\n", ch.ID, ch.Title, ch.Narrative)
+	fmt.Fprintf(out, "goal: %s on %s\n", ch.Campaign.Goal.Task, ch.Campaign.Goal.TargetTable)
+	fmt.Fprintln(out, "objectives:")
+	for _, o := range ch.Campaign.Objectives {
+		hard := ""
+		if o.Hard {
+			hard = " (hard)"
+		}
+		fmt.Fprintf(out, "  %s %s %g%s\n", o.Indicator, o.Comparison, o.Target, hard)
+	}
+	fmt.Fprintf(out, "degrees of freedom: %v\n\n", ch.DegreesOfFreedom)
+	fmt.Fprintf(out, "design alternatives (%d):\n", len(alternatives))
+	for _, a := range alternatives {
+		marker := " "
+		if !a.Compliant() {
+			marker = "!"
+		}
+		fmt.Fprintf(out, "%s [%3d] est.score=%.3f %s\n", marker, a.Index, a.Evaluation.Score, a.Fingerprint())
+	}
+	return nil
+}
+
+func doAttempt(ctx context.Context, out io.Writer, lab *toreador.Lab, trainee, id string, idx int) error {
+	attempt, err := lab.Attempt(ctx, trainee, id, idx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trainee:     %s\n", attempt.Trainee)
+	fmt.Fprintf(out, "alternative: %s\n", attempt.Fingerprint)
+	fmt.Fprintf(out, "score:       %.3f (compliant=%v, feasible=%v)\n",
+		attempt.Score, attempt.Report.Compliant, attempt.Report.Evaluation.Feasible)
+	fmt.Fprintf(out, "measured:    %s\n", attempt.Report.Measured)
+	fmt.Fprintln(out, "\nobjective evaluation:")
+	fmt.Fprint(out, attempt.Report.Evaluation.Summary())
+	return nil
+}
+
+func doSimulate(ctx context.Context, out io.Writer, lab *toreador.Lab, id string, attempts int, seed int64) error {
+	fmt.Fprintf(out, "simulated trainees on %s (%d attempts each):\n", id, attempts)
+	for _, strategy := range []toreador.TraineeStrategy{toreador.TraineeGuided, toreador.TraineeGreedy, toreador.TraineeRandom} {
+		curve, err := lab.SimulateTrainee(ctx, id, strategy, attempts, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-8s", strategy)
+		for _, v := range curve {
+			fmt.Fprintf(out, " %.3f", v)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

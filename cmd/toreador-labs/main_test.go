@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runLabsCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+// small keeps the scenario sizing low so CLI tests stay fast.
+var small = []string{"-customers", "250"}
+
+func withSizing(args ...string) []string {
+	return append(append([]string{}, small...), args...)
+}
+
+func TestLabsCLIValidation(t *testing.T) {
+	if _, err := runLabsCLI(t); err == nil {
+		t.Error("missing command must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("show")...); err == nil {
+		t.Error("show without a challenge id must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("attempt", "telco-churn")...); err == nil {
+		t.Error("attempt without an index must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("attempt", "telco-churn", "not-a-number")...); err == nil {
+		t.Error("non-numeric index must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("simulate")...); err == nil {
+		t.Error("simulate without a challenge id must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("dance")...); err == nil {
+		t.Error("unknown command must fail")
+	}
+	if _, err := runLabsCLI(t, withSizing("show", "ghost-challenge")...); err == nil {
+		t.Error("unknown challenge must fail")
+	}
+}
+
+func TestLabsCLIList(t *testing.T) {
+	out, err := runLabsCLI(t, withSizing("list")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"telco-churn", "payment-fraud", "energy-forecast", "retail-baskets", "web-funnel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabsCLIShow(t *testing.T) {
+	out, err := runLabsCLI(t, withSizing("show", "retail-baskets")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cross-selling", "objectives:", "design alternatives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabsCLIAttempt(t *testing.T) {
+	out, err := runLabsCLI(t, withSizing("-trainee", "alice", "attempt", "retail-baskets", "0")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trainee:     alice", "score:", "objective evaluation:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attempt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabsCLISimulate(t *testing.T) {
+	out, err := runLabsCLI(t, withSizing("-attempts", "2", "simulate", "web-funnel")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"guided", "greedy", "random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Command toreadorctl is the operator CLI of the platform: it compiles
+// declarative campaign files into deployment plans, enumerates alternatives,
+// runs the chosen pipeline, and produces interference and what-if reports.
+//
+// Usage:
+//
+//	toreadorctl -scenario telco -campaign campaign.json compile
+//	toreadorctl -scenario telco -campaign campaign.json run
+//	toreadorctl -scenario telco -campaign campaign.json alternatives
+//	toreadorctl -scenario telco -campaign campaign.json interference
+//	toreadorctl -scenario telco -campaign campaign.json plan -strategy greedy
+//
+// The -scenario flag registers one or more synthetic vertical scenarios
+// (comma separated) so the campaign's data sources resolve; -repository
+// optionally persists campaigns and run records.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	toreador "repro"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toreadorctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("toreadorctl", flag.ContinueOnError)
+	var (
+		scenarios  = fs.String("scenario", "telco", "comma-separated vertical scenarios to register (telco,retail,energy,web,finance)")
+		campaign   = fs.String("campaign", "", "path to the declarative campaign JSON file (required)")
+		seed       = fs.Int64("seed", 1, "seed for data generation and execution")
+		customers  = fs.Int("customers", 2000, "scenario sizing: customers/baskets/transactions")
+		repository = fs.String("repository", "", "optional model-repository directory for persistence")
+		strategy   = fs.String("strategy", "exhaustive", "planning strategy for the plan command (exhaustive|greedy|random)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("missing command: one of compile, run, alternatives, interference, plan")
+	}
+	command := fs.Arg(0)
+	if *campaign == "" {
+		return fmt.Errorf("-campaign is required")
+	}
+
+	platform, err := toreador.New(toreador.Config{Seed: *seed, RepositoryDir: *repository})
+	if err != nil {
+		return err
+	}
+	sizing := toreador.Sizing{Customers: *customers}
+	for _, name := range strings.Split(*scenarios, ",") {
+		v, err := parseVertical(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		if _, err := platform.RegisterScenario(v, sizing); err != nil {
+			return fmt.Errorf("register scenario %s: %w", v, err)
+		}
+	}
+
+	f, err := os.Open(*campaign)
+	if err != nil {
+		return fmt.Errorf("open campaign: %w", err)
+	}
+	defer f.Close()
+	c, err := model.DecodeCampaign(f)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	switch command {
+	case "compile":
+		return doCompile(out, platform, c)
+	case "run":
+		return doRun(ctx, out, platform, c)
+	case "alternatives":
+		return doAlternatives(out, platform, c)
+	case "interference":
+		return doInterference(out, platform, c)
+	case "plan":
+		return doPlan(out, platform, c, toreador.Strategy(*strategy))
+	default:
+		return fmt.Errorf("unknown command %q", command)
+	}
+}
+
+func parseVertical(name string) (toreador.Vertical, error) {
+	switch name {
+	case "telco":
+		return toreador.VerticalTelco, nil
+	case "retail":
+		return toreador.VerticalRetail, nil
+	case "energy":
+		return toreador.VerticalEnergy, nil
+	case "web":
+		return toreador.VerticalWeb, nil
+	case "finance":
+		return toreador.VerticalFinance, nil
+	default:
+		return "", fmt.Errorf("unknown vertical %q", name)
+	}
+}
+
+func doCompile(out io.Writer, platform *toreador.Platform, c *toreador.Campaign) error {
+	result, err := platform.Compile(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign:      %s (%s)\n", c.Name, c.Goal.Task)
+	fmt.Fprintf(out, "design space:  %d alternatives, %d compliant\n",
+		len(result.Alternatives), len(result.CompliantAlternatives()))
+	fmt.Fprintf(out, "chosen:        %s\n", result.Chosen.Fingerprint())
+	fmt.Fprintf(out, "estimates:     %s\n", result.Chosen.Estimates)
+	fmt.Fprintf(out, "compile time:  %s (validate %s, match %s, compose %s, comply %s, bind %s)\n",
+		result.Timings.Total(), result.Timings.Validate, result.Timings.Match,
+		result.Timings.Compose, result.Timings.Comply, result.Timings.Bind)
+	arts, err := result.Chosen.Plan.Artifacts()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\ndeployment artifacts:")
+	for name := range arts {
+		fmt.Fprintf(out, "  %s (%d bytes)\n", name, len(arts[name]))
+	}
+	return nil
+}
+
+func doRun(ctx context.Context, out io.Writer, platform *toreador.Platform, c *toreador.Campaign) error {
+	result, report, err := platform.Execute(ctx, c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "executed:  %s\n", result.Chosen.Fingerprint())
+	fmt.Fprintf(out, "measured:  %s\n", report.Measured)
+	fmt.Fprintf(out, "wall time: %s over %d rows\n", report.WallTime, report.RowsProcessed)
+	fmt.Fprintln(out, "\nobjective evaluation:")
+	fmt.Fprint(out, report.Evaluation.Summary())
+	fmt.Fprintln(out, "\ndiagnostics:")
+	for k, v := range report.Details {
+		fmt.Fprintf(out, "  %-28s %s\n", k, v)
+	}
+	return nil
+}
+
+func doAlternatives(out io.Writer, platform *toreador.Platform, c *toreador.Campaign) error {
+	alternatives, err := platform.Alternatives(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d alternatives for %s:\n", len(alternatives), c.Name)
+	for _, a := range alternatives {
+		marker := " "
+		if !a.Compliant() {
+			marker = "!"
+		}
+		fmt.Fprintf(out, "%s [%3d] score=%.3f %s\n", marker, a.Index, a.Evaluation.Score, a.Fingerprint())
+	}
+	fmt.Fprintln(out, "\n('!' marks non-compliant alternatives)")
+	return nil
+}
+
+func doInterference(out io.Writer, platform *toreador.Platform, c *toreador.Campaign) error {
+	points, err := platform.Interference(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "interference analysis for %s:\n", c.Name)
+	fmt.Fprintf(out, "%-14s %12s %10s %12s %10s %10s %10s\n",
+		"regime", "alternatives", "compliant", "preparation", "analytics", "display", "platforms")
+	for _, p := range points {
+		fmt.Fprintf(out, "%-14s %12d %10d %12d %10d %10d %10d\n",
+			p.Regime, p.TotalAlternatives, p.CompliantAlternatives,
+			p.PreparationOptions, p.AnalyticsOptions, p.DisplayOptions, p.PlatformOptions)
+	}
+	return nil
+}
+
+func doPlan(out io.Writer, platform *toreador.Platform, c *toreador.Campaign, strategy toreador.Strategy) error {
+	decision, err := platform.Plan(c, strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "strategy:  %s\n", decision.Strategy)
+	fmt.Fprintf(out, "chosen:    %s\n", decision.Chosen.Fingerprint())
+	fmt.Fprintf(out, "score:     %.3f (feasible=%v)\n", decision.Score, decision.Feasible)
+	fmt.Fprintf(out, "explored:  %d of %d alternatives in %s\n", decision.Explored, decision.TotalAlternatives, decision.Elapsed)
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// writeCampaignFile stores a small churn campaign JSON in a temp dir and
+// returns its path.
+func writeCampaignFile(t *testing.T) string {
+	t.Helper()
+	campaign := &model.Campaign{
+		Name:     "cli-churn",
+		Vertical: "telco",
+		Goal: model.Goal{
+			Task:           model.TaskClassification,
+			TargetTable:    "telco_customers",
+			LabelColumn:    "churned",
+			FeatureColumns: []string{"tenure_months", "support_calls"},
+		},
+		Sources: []model.DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []model.Objective{
+			{Indicator: model.IndicatorAccuracy, Comparison: model.AtLeast, Target: 0.7, Hard: true},
+		},
+		Regime: model.RegimePseudonymize,
+	}
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := campaign.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestCLIValidation(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("missing command must fail")
+	}
+	if _, err := runCLI(t, "compile"); err == nil {
+		t.Error("missing -campaign must fail")
+	}
+	campaign := writeCampaignFile(t)
+	if _, err := runCLI(t, "-campaign", campaign, "-scenario", "plutonium", "compile"); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if _, err := runCLI(t, "-campaign", campaign, "frobnicate"); err == nil {
+		t.Error("unknown command must fail")
+	}
+	if _, err := runCLI(t, "-campaign", filepath.Join(t.TempDir(), "missing.json"), "compile"); err == nil {
+		t.Error("missing campaign file must fail")
+	}
+}
+
+func TestCLICompile(t *testing.T) {
+	campaign := writeCampaignFile(t)
+	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"design space:", "chosen:", "deployment artifacts:", "plan.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIRunWithRepository(t *testing.T) {
+	campaign := writeCampaignFile(t)
+	repoDir := t.TempDir()
+	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "-repository", repoDir, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"executed:", "objective evaluation:", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+	// The repository must now contain the persisted campaign and run.
+	entries, err := os.ReadDir(filepath.Join(repoDir, "runs", "cli-churn"))
+	if err != nil || len(entries) == 0 {
+		t.Errorf("run record not persisted: %v, %v", entries, err)
+	}
+}
+
+func TestCLIAlternativesInterferencePlan(t *testing.T) {
+	campaign := writeCampaignFile(t)
+	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "alternatives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "alternatives for cli-churn") || !strings.Contains(out, "non-compliant") {
+		t.Errorf("alternatives output unexpected:\n%s", out)
+	}
+
+	out, err = runCLI(t, "-campaign", campaign, "-customers", "300", "interference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strict") || !strings.Contains(out, "pseudonymize") {
+		t.Errorf("interference output unexpected:\n%s", out)
+	}
+
+	out, err = runCLI(t, "-campaign", campaign, "-customers", "300", "-strategy", "greedy", "plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy:  greedy") || !strings.Contains(out, "explored:") {
+		t.Errorf("plan output unexpected:\n%s", out)
+	}
+	if _, err := runCLI(t, "-campaign", campaign, "-customers", "300", "-strategy", "psychic", "plan"); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestParseVertical(t *testing.T) {
+	for _, name := range []string{"telco", "retail", "energy", "web", "finance"} {
+		if _, err := parseVertical(name); err != nil {
+			t.Errorf("parseVertical(%s): %v", name, err)
+		}
+	}
+	if _, err := parseVertical("space"); err == nil {
+		t.Error("unknown vertical must fail")
+	}
+}

@@ -1,0 +1,104 @@
+// Command churn-tradeoffs reproduces the Labs "trial and error" workflow on
+// the telco churn scenario: it enumerates the campaign's design alternatives,
+// executes one representative alternative per classifier choice, and prints a
+// side-by-side comparison of the consequences (accuracy, cost, latency,
+// privacy) of each choice — the comparison the paper says is "usually not
+// available in the professional Big Data platforms".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	toreador "repro"
+)
+
+func main() {
+	platform, err := toreador.New(toreador.Config{Seed: 7})
+	if err != nil {
+		log.Fatalf("create platform: %v", err)
+	}
+	if _, err := platform.RegisterScenario(toreador.VerticalTelco, toreador.Sizing{Customers: 1500}); err != nil {
+		log.Fatalf("register scenario: %v", err)
+	}
+
+	campaign := &toreador.Campaign{
+		Name:     "churn-tradeoffs",
+		Vertical: string(toreador.VerticalTelco),
+		Goal: toreador.Goal{
+			Task:           toreador.TaskClassification,
+			TargetTable:    "telco_customers",
+			LabelColumn:    "churned",
+			FeatureColumns: []string{"tenure_months", "monthly_charge", "support_calls", "dropped_calls", "data_usage_gb"},
+		},
+		Sources: []toreador.DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []toreador.Objective{
+			{Indicator: toreador.IndicatorAccuracy, Comparison: toreador.AtLeast, Target: 0.70, Hard: true, Weight: 3},
+			{Indicator: toreador.IndicatorCost, Comparison: toreador.AtMost, Target: 2.0, Weight: 2},
+			{Indicator: toreador.IndicatorPrivacy, Comparison: toreador.AtLeast, Target: 0.8, Hard: true},
+		},
+		Regime: toreador.RegimePseudonymize,
+	}
+
+	alternatives, err := platform.Alternatives(campaign)
+	if err != nil {
+		log.Fatalf("enumerate alternatives: %v", err)
+	}
+	fmt.Printf("design space: %d alternatives\n\n", len(alternatives))
+
+	// Run one compliant alternative per analytics service (the trainee's
+	// "what happens if I pick a different classifier?" question).
+	type row struct {
+		service  string
+		accuracy float64
+		cost     float64
+		latency  float64
+		privacy  float64
+		score    float64
+		feasible bool
+	}
+	var rows []row
+	seen := map[string]bool{}
+	ctx := context.Background()
+	for _, alt := range alternatives {
+		if !alt.Compliant() {
+			continue
+		}
+		step, ok := alt.Composition.AnalyticsStep()
+		if !ok || seen[step.Service.ID] {
+			continue
+		}
+		seen[step.Service.ID] = true
+		report, err := platform.Run(ctx, campaign, alt)
+		if err != nil {
+			log.Fatalf("run %s: %v", alt.Fingerprint(), err)
+		}
+		acc, _ := report.Measured.Get(toreador.IndicatorAccuracy)
+		cost, _ := report.Measured.Get(toreador.IndicatorCost)
+		lat, _ := report.Measured.Get(toreador.IndicatorLatency)
+		priv, _ := report.Measured.Get(toreador.IndicatorPrivacy)
+		rows = append(rows, row{
+			service:  step.Service.ID,
+			accuracy: acc, cost: cost, latency: lat, privacy: priv,
+			score: report.Evaluation.Score, feasible: report.Evaluation.Feasible,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
+
+	fmt.Println("alternative comparison (one run per classifier, same data, same objectives):")
+	fmt.Printf("%-22s %9s %9s %11s %9s %7s %s\n", "analytics service", "accuracy", "cost", "latency_ms", "privacy", "score", "feasible")
+	for _, r := range rows {
+		fmt.Printf("%-22s %9.3f %9.4f %11.1f %9.2f %7.3f %v\n",
+			r.service, r.accuracy, r.cost, r.latency, r.privacy, r.score, r.feasible)
+	}
+
+	// Finally, show what the platform itself would have picked.
+	decision, err := platform.Plan(campaign, toreador.StrategyExhaustive)
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	fmt.Printf("\nplatform recommendation: %s (estimated score %.3f, explored %d/%d alternatives)\n",
+		decision.Chosen.Fingerprint(), decision.Score, decision.Explored, decision.TotalAlternatives)
+}

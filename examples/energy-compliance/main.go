@@ -1,0 +1,71 @@
+// Command energy-compliance runs the smart-meter forecasting campaign under
+// a strict privacy regulation and shows the interference analysis: how
+// tightening the privacy regime progressively removes design options in the
+// other stages of the campaign (preparation, analytics, display, deployment).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	toreador "repro"
+)
+
+func main() {
+	platform, err := toreador.New(toreador.Config{Seed: 19})
+	if err != nil {
+		log.Fatalf("create platform: %v", err)
+	}
+	if _, err := platform.RegisterScenario(toreador.VerticalEnergy, toreador.Sizing{Meters: 20, Days: 14}); err != nil {
+		log.Fatalf("register scenario: %v", err)
+	}
+
+	campaign := &toreador.Campaign{
+		Name:     "energy-forecast",
+		Vertical: string(toreador.VerticalEnergy),
+		Goal: toreador.Goal{
+			Task:        toreador.TaskForecasting,
+			Description: "day-ahead forecast of household consumption",
+			TargetTable: "meter_readings",
+			ValueColumn: "kwh",
+			TimeColumn:  "read_at",
+		},
+		Sources: []toreador.DataSource{{Table: "meter_readings", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []toreador.Objective{
+			{Indicator: toreador.IndicatorAccuracy, Comparison: toreador.AtLeast, Target: 0.5, Hard: true, Weight: 2},
+			{Indicator: toreador.IndicatorCost, Comparison: toreador.AtMost, Target: 2},
+			{Indicator: toreador.IndicatorPrivacy, Comparison: toreador.AtLeast, Target: 0.9, Hard: true},
+		},
+		Regime: toreador.RegimeStrict,
+	}
+
+	// Interference analysis: sweep the regime and count surviving options.
+	points, err := platform.Interference(campaign)
+	if err != nil {
+		log.Fatalf("interference: %v", err)
+	}
+	fmt.Println("=== interference of the privacy regime on the other design stages ===")
+	fmt.Printf("%-14s %12s %10s %12s %10s %10s %10s\n",
+		"regime", "alternatives", "compliant", "preparation", "analytics", "display", "platforms")
+	for _, p := range points {
+		fmt.Printf("%-14s %12d %10d %12d %10d %10d %10d\n",
+			p.Regime, p.TotalAlternatives, p.CompliantAlternatives,
+			p.PreparationOptions, p.AnalyticsOptions, p.DisplayOptions, p.PlatformOptions)
+	}
+
+	// Compile and run under the strict regime.
+	result, report, err := platform.Execute(context.Background(), campaign)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	fmt.Printf("\nchosen pipeline under %q: %s\n", campaign.Regime, result.Chosen.Fingerprint())
+	fmt.Println("\ncompliance obligations attached to the run:")
+	for _, o := range result.Chosen.Compliance.Obligations {
+		fmt.Printf("  - %s\n", o)
+	}
+	fmt.Println("\nmeasured indicators:")
+	fmt.Printf("  %s\n", report.Measured)
+	fmt.Println("\nobjective evaluation:")
+	fmt.Print(report.Evaluation.Summary())
+}

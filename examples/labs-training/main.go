@@ -1,0 +1,98 @@
+// Command labs-training demonstrates the TOREADOR Labs environment itself:
+// it lists the built-in challenges, lets two simulated trainees attempt the
+// churn challenge with different exploration strategies, compares their runs
+// side by side, and prints the session leaderboard and the learning curves
+// that show how guided trial-and-error converges faster than random poking.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	toreador "repro"
+)
+
+func main() {
+	lab, err := toreador.OpenLab(29, toreador.Sizing{Customers: 800, Meters: 5, Days: 5, Users: 120})
+	if err != nil {
+		log.Fatalf("open lab: %v", err)
+	}
+
+	fmt.Println("=== TOREADOR Labs challenge catalog ===")
+	for _, ch := range lab.Challenges() {
+		alternatives, err := lab.Alternatives(ch.ID)
+		if err != nil {
+			log.Fatalf("alternatives for %s: %v", ch.ID, err)
+		}
+		compliant := 0
+		for _, a := range alternatives {
+			if a.Compliant() {
+				compliant++
+			}
+		}
+		fmt.Printf("\n[%s] %s\n", ch.ID, ch.Title)
+		fmt.Printf("  vertical: %s | regime: %s | alternatives: %d (%d compliant)\n",
+			ch.Vertical, ch.Campaign.Regime, len(alternatives), compliant)
+		fmt.Printf("  trainee choices: %v\n", ch.DegreesOfFreedom)
+	}
+
+	// A short training session on the churn challenge: alice follows the
+	// platform's guidance, bob clicks around at random.
+	ctx := context.Background()
+	session := toreador.NewLabSession(lab)
+	alternatives, err := lab.Alternatives("telco-churn")
+	if err != nil {
+		log.Fatalf("alternatives: %v", err)
+	}
+	guidedOrder := []int{}
+	randomOrder := []int{}
+	for i := range alternatives {
+		if alternatives[i].Compliant() && len(guidedOrder) < 2 {
+			guidedOrder = append(guidedOrder, i)
+		}
+	}
+	randomOrder = append(randomOrder, 0, len(alternatives)/2)
+
+	fmt.Println("\n=== training session: telco-churn ===")
+	for _, idx := range guidedOrder {
+		attempt, err := session.Submit(ctx, "alice", "telco-churn", idx)
+		if err != nil {
+			log.Fatalf("alice attempt: %v", err)
+		}
+		fmt.Printf("alice attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
+	}
+	for _, idx := range randomOrder {
+		attempt, err := session.Submit(ctx, "bob", "telco-churn", idx)
+		if err != nil {
+			log.Fatalf("bob attempt: %v", err)
+		}
+		fmt.Printf("bob   attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
+	}
+
+	fmt.Println("\nside-by-side comparison of all runs (best first):")
+	for _, row := range toreador.CompareAttempts(session.Attempts()) {
+		fmt.Printf("  %-6s score=%.3f compliant=%-5v feasible=%-5v %s\n",
+			row.Trainee, row.Score, row.Compliant, row.Feasible, row.Measured)
+	}
+
+	fmt.Println("\nleaderboard:")
+	for rank, entry := range session.Leaderboard() {
+		fmt.Printf("  %d. %-8s best-total=%.3f over %d challenge(s), %d attempts\n",
+			rank+1, entry.Trainee, entry.BestTotal, entry.Challenges, entry.Attempts)
+	}
+
+	// Learning curves: guided vs random trial-and-error on the same challenge.
+	fmt.Println("\nlearning curves (best score after k attempts):")
+	for _, strategy := range []toreador.TraineeStrategy{toreador.TraineeGuided, toreador.TraineeRandom} {
+		curve, err := lab.SimulateTrainee(ctx, "telco-churn", strategy, 4, 29)
+		if err != nil {
+			log.Fatalf("simulate %s: %v", strategy, err)
+		}
+		fmt.Printf("  %-8s", strategy)
+		for _, v := range curve {
+			fmt.Printf(" %.3f", v)
+		}
+		fmt.Println()
+	}
+}

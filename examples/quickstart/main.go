@@ -1,0 +1,73 @@
+// Command quickstart shows the minimal TOREADOR workflow: register a
+// scenario, declare a campaign from a business perspective, let the platform
+// compile it into a ready-to-be-executed pipeline, run it, and inspect the
+// measured indicators against the declared objectives.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	toreador "repro"
+)
+
+func main() {
+	platform, err := toreador.New(toreador.Config{Seed: 42})
+	if err != nil {
+		log.Fatalf("create platform: %v", err)
+	}
+
+	// Register the telco vertical scenario (synthetic subscriber data).
+	if _, err := platform.RegisterScenario(toreador.VerticalTelco, toreador.Sizing{Customers: 2000}); err != nil {
+		log.Fatalf("register scenario: %v", err)
+	}
+
+	// Declare the campaign: business goal, data, objectives, privacy regime.
+	campaign := &toreador.Campaign{
+		Name:     "quickstart-churn",
+		Vertical: string(toreador.VerticalTelco),
+		Goal: toreador.Goal{
+			Task:           toreador.TaskClassification,
+			Description:    "spot subscribers about to churn so retention can call them first",
+			TargetTable:    "telco_customers",
+			LabelColumn:    "churned",
+			FeatureColumns: []string{"tenure_months", "monthly_charge", "support_calls", "dropped_calls", "data_usage_gb"},
+		},
+		Sources: []toreador.DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []toreador.Objective{
+			{Indicator: toreador.IndicatorAccuracy, Comparison: toreador.AtLeast, Target: 0.70, Hard: true, Weight: 3},
+			{Indicator: toreador.IndicatorCost, Comparison: toreador.AtMost, Target: 2.0, Weight: 2},
+			{Indicator: toreador.IndicatorLatency, Comparison: toreador.AtMost, Target: 30_000},
+		},
+		Regime: toreador.RegimePseudonymize,
+	}
+
+	// The BDAaaS function: declarative model in, executed pipeline out.
+	result, report, err := platform.Execute(context.Background(), campaign)
+	if err != nil {
+		log.Fatalf("execute campaign: %v", err)
+	}
+
+	fmt.Println("=== TOREADOR quickstart: telco churn campaign ===")
+	fmt.Printf("design space:        %d alternatives (%d compliant)\n",
+		len(result.Alternatives), len(result.CompliantAlternatives()))
+	fmt.Printf("chosen pipeline:     %s\n", result.Chosen.Fingerprint())
+	fmt.Printf("deployment:          %s, parallelism %d, %d nodes x %d slots\n",
+		result.Chosen.Plan.Platform, result.Chosen.Plan.Parallelism,
+		result.Chosen.Plan.Nodes, result.Chosen.Plan.SlotsPerNode)
+	fmt.Printf("compilation phases:  validate=%s match=%s compose=%s comply=%s bind=%s\n",
+		result.Timings.Validate, result.Timings.Match, result.Timings.Compose,
+		result.Timings.Comply, result.Timings.Bind)
+	fmt.Println()
+	fmt.Println("measured indicators:")
+	fmt.Printf("  %s\n", report.Measured)
+	fmt.Println()
+	fmt.Println("objective evaluation:")
+	fmt.Print(report.Evaluation.Summary())
+	fmt.Println()
+	fmt.Println("pipeline diagnostics:")
+	for k, v := range report.Details {
+		fmt.Printf("  %-28s %s\n", k, v)
+	}
+}

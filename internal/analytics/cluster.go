@@ -1,0 +1,168 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters rows into K clusters with Lloyd's algorithm and k-means++
+// style seeding (greedy farthest-point initialisation from a seeded RNG).
+type KMeans struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIterations bounds Lloyd iterations (default 100).
+	MaxIterations int
+	// Seed drives centroid initialisation.
+	Seed int64
+
+	centroids Matrix
+	fitted    bool
+}
+
+// Centroids returns the fitted cluster centres.
+func (m *KMeans) Centroids() Matrix {
+	if !m.fitted {
+		return nil
+	}
+	return m.centroids.Clone()
+}
+
+// Fit learns the centroids from x.
+func (m *KMeans) Fit(x Matrix) error {
+	if err := x.Validate(); err != nil {
+		return err
+	}
+	if m.K < 1 {
+		return fmt.Errorf("%w: K=%d", ErrBadParameter, m.K)
+	}
+	rows, _ := x.Dims()
+	if m.K > rows {
+		return fmt.Errorf("%w: K=%d exceeds %d rows", ErrBadParameter, m.K, rows)
+	}
+	if m.MaxIterations <= 0 {
+		m.MaxIterations = 100
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.centroids = m.initCentroids(x, rng)
+	assign := make([]int, rows)
+	for iter := 0; iter < m.MaxIterations; iter++ {
+		changed := false
+		for i, row := range x {
+			best := m.nearest(row)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		m.recomputeCentroids(x, assign)
+	}
+	m.fitted = true
+	return nil
+}
+
+func (m *KMeans) initCentroids(x Matrix, rng *rand.Rand) Matrix {
+	rows, cols := x.Dims()
+	centroids := make(Matrix, 0, m.K)
+	first := rng.Intn(rows)
+	centroids = append(centroids, append([]float64(nil), x[first]...))
+	for len(centroids) < m.K {
+		// Pick the point farthest (in squared distance) from its nearest
+		// chosen centroid — a deterministic variant of k-means++.
+		bestIdx, bestDist := 0, -1.0
+		for i, row := range x {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := euclidean(row, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				bestDist = d
+				bestIdx = i
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), x[bestIdx]...))
+	}
+	_ = cols
+	return centroids
+}
+
+func (m *KMeans) nearest(row []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for k, c := range m.centroids {
+		if d := euclidean(row, c); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+func (m *KMeans) recomputeCentroids(x Matrix, assign []int) {
+	_, cols := x.Dims()
+	sums := make(Matrix, m.K)
+	counts := make([]int, m.K)
+	for k := range sums {
+		sums[k] = make([]float64, cols)
+	}
+	for i, row := range x {
+		k := assign[i]
+		counts[k]++
+		for j, v := range row {
+			sums[k][j] += v
+		}
+	}
+	for k := range sums {
+		if counts[k] == 0 {
+			continue // keep the previous centroid for empty clusters
+		}
+		for j := range sums[k] {
+			sums[k][j] /= float64(counts[k])
+		}
+		m.centroids[k] = sums[k]
+	}
+}
+
+// Predict returns the index of the closest centroid.
+func (m *KMeans) Predict(row []float64) (int, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(row) != len(m.centroids[0]) {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimMismatch, len(row), len(m.centroids[0]))
+	}
+	return m.nearest(row), nil
+}
+
+// Assignments returns the cluster index of every row in x.
+func (m *KMeans) Assignments(x Matrix) ([]int, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]int, len(x))
+	for i, row := range x {
+		k, err := m.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = k
+	}
+	return out, nil
+}
+
+// Inertia returns the total within-cluster sum of squared distances of x.
+func (m *KMeans) Inertia(x Matrix) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	total := 0.0
+	for _, row := range x {
+		k := m.nearest(row)
+		d := euclidean(row, m.centroids[k])
+		total += d * d
+	}
+	return total, nil
+}

@@ -1,0 +1,128 @@
+package analytics
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// threeBlobs generates three well-separated Gaussian blobs.
+func threeBlobs(perBlob int, seed int64) (Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := Matrix{{0, 0}, {10, 10}, {-10, 10}}
+	var x Matrix
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perBlob; i++ {
+			x = append(x, []float64{
+				center[0] + rng.NormFloat64(),
+				center[1] + rng.NormFloat64(),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return x, truth
+}
+
+func TestKMeansRecoverseparatedBlobs(t *testing.T) {
+	x, truth := threeBlobs(60, 5)
+	km := &KMeans{K: 3, Seed: 1}
+	if err := km.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	assign, err := km.Assignments(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ground-truth blob must map (almost) entirely to a single cluster.
+	for blob := 0; blob < 3; blob++ {
+		counts := map[int]int{}
+		total := 0
+		for i, tr := range truth {
+			if tr == blob {
+				counts[assign[i]]++
+				total++
+			}
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best)/float64(total) < 0.95 {
+			t.Errorf("blob %d split across clusters: %v", blob, counts)
+		}
+	}
+	inertia, err := km.Inertia(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With correct clustering the within-cluster variance is tiny compared to
+	// a single-cluster solution.
+	single := &KMeans{K: 1, Seed: 1}
+	if err := single.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	singleInertia, _ := single.Inertia(x)
+	if inertia >= singleInertia/5 {
+		t.Errorf("k=3 inertia %.1f not much better than k=1 inertia %.1f", inertia, singleInertia)
+	}
+	if len(km.Centroids()) != 3 {
+		t.Error("centroids must have K entries")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	x, _ := threeBlobs(30, 7)
+	a := &KMeans{K: 3, Seed: 42}
+	b := &KMeans{K: 3, Seed: 42}
+	if err := a.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Centroids(), b.Centroids()
+	for i := range ca {
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				t.Fatal("same seed must give identical centroids")
+			}
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	km := &KMeans{K: 0}
+	if err := km.Fit(Matrix{{1}}); !errors.Is(err, ErrBadParameter) {
+		t.Error("K=0 must fail")
+	}
+	km = &KMeans{K: 5}
+	if err := km.Fit(Matrix{{1}, {2}}); !errors.Is(err, ErrBadParameter) {
+		t.Error("K > rows must fail")
+	}
+	if err := (&KMeans{K: 1}).Fit(Matrix{}); !errors.Is(err, ErrNoData) {
+		t.Error("empty matrix must fail")
+	}
+	unfitted := &KMeans{K: 2}
+	if _, err := unfitted.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Error("predict before fit must fail")
+	}
+	if _, err := unfitted.Assignments(Matrix{{1}}); !errors.Is(err, ErrNotFitted) {
+		t.Error("assignments before fit must fail")
+	}
+	if _, err := unfitted.Inertia(Matrix{{1}}); !errors.Is(err, ErrNotFitted) {
+		t.Error("inertia before fit must fail")
+	}
+	if unfitted.Centroids() != nil {
+		t.Error("centroids before fit must be nil")
+	}
+	fitted := &KMeans{K: 1, Seed: 1}
+	if err := fitted.Fit(Matrix{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fitted.Predict([]float64{1}); !errors.Is(err, ErrDimMismatch) {
+		t.Error("wrong width prediction must fail")
+	}
+}

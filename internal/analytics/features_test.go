@@ -1,0 +1,215 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/storage"
+)
+
+func labelledResult() *dataflow.Result {
+	schema := storage.MustSchema(
+		storage.Field{Name: "a", Type: storage.TypeFloat},
+		storage.Field{Name: "b", Type: storage.TypeFloat},
+		storage.Field{Name: "y", Type: storage.TypeBool},
+	)
+	rows := []storage.Row{
+		{1.0, 2.0, true},
+		{2.0, 1.0, false},
+		{3.0, 4.0, true},
+		{4.0, 3.0, false},
+		{5.0, 6.0, true},
+		{6.0, 5.0, false},
+	}
+	return &dataflow.Result{Schema: schema, Rows: rows}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	if err := (Matrix{}).Validate(); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty matrix err = %v", err)
+	}
+	if err := (Matrix{{1, 2}, {3}}).Validate(); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("ragged matrix err = %v", err)
+	}
+	if err := (Matrix{{1, 2}, {3, 4}}).Validate(); err != nil {
+		t.Errorf("valid matrix err = %v", err)
+	}
+	r, c := (Matrix{{1, 2, 3}}).Dims()
+	if r != 1 || c != 3 {
+		t.Errorf("dims = %d,%d", r, c)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := Matrix{{1, 2}, {3, 4}}
+	c := m.Clone()
+	c[0][0] = 99
+	if m[0][0] != 1 {
+		t.Error("Clone must not alias rows")
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	res := labelledResult()
+	fs, err := ExtractFeatures(res, []string{"a", "b"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.X) != 6 || len(fs.Labels) != 6 || len(fs.Columns) != 2 {
+		t.Fatalf("feature set = %+v", fs)
+	}
+	if fs.X[0][0] != 1.0 || fs.X[0][1] != 2.0 || fs.Labels[0] != true {
+		t.Errorf("first row = %v label=%v", fs.X[0], fs.Labels[0])
+	}
+
+	unlabelled, err := ExtractFeatures(res, []string{"a"}, "")
+	if err != nil || unlabelled.Labels != nil {
+		t.Errorf("unlabelled extraction = %+v, %v", unlabelled, err)
+	}
+
+	if _, err := ExtractFeatures(nil, []string{"a"}, ""); !errors.Is(err, ErrNoData) {
+		t.Error("nil result must fail with ErrNoData")
+	}
+	if _, err := ExtractFeatures(res, nil, ""); !errors.Is(err, ErrBadParameter) {
+		t.Error("no feature columns must fail")
+	}
+	if _, err := ExtractFeatures(res, []string{"ghost"}, ""); !errors.Is(err, ErrMissingColumn) {
+		t.Error("unknown feature column must fail")
+	}
+	if _, err := ExtractFeatures(res, []string{"a"}, "ghost"); !errors.Is(err, ErrMissingColumn) {
+		t.Error("unknown label column must fail")
+	}
+}
+
+func TestExtractFeaturesFromTable(t *testing.T) {
+	tbl, err := storage.NewTable("t", storage.MustSchema(
+		storage.Field{Name: "x", Type: storage.TypeFloat},
+		storage.Field{Name: "y", Type: storage.TypeBool},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tbl.Append(storage.Row{1.5, true})
+	fs, err := ExtractFeaturesFromTable(tbl, []string{"x"}, "y")
+	if err != nil || len(fs.X) != 1 {
+		t.Fatalf("fs = %+v, %v", fs, err)
+	}
+	empty, _ := storage.NewTable("e", tbl.Schema())
+	if _, err := ExtractFeaturesFromTable(empty, []string{"x"}, ""); !errors.Is(err, ErrNoData) {
+		t.Error("empty table must fail with ErrNoData")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	fs, _ := ExtractFeatures(labelledResult(), []string{"a", "b"}, "y")
+	train, test, err := fs.Split(0.33, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.X)+len(test.X) != 6 {
+		t.Errorf("split sizes %d + %d != 6", len(train.X), len(test.X))
+	}
+	if len(test.X) != 1 { // floor(6*0.33) = 1
+		t.Errorf("test size = %d, want 1", len(test.X))
+	}
+	if len(train.Labels) != len(train.X) || len(test.Labels) != len(test.X) {
+		t.Error("labels must follow their rows")
+	}
+	// Determinism.
+	train2, test2, _ := fs.Split(0.33, 7)
+	if len(train2.X) != len(train.X) || len(test2.X) != len(test.X) {
+		t.Error("same seed must give same split sizes")
+	}
+	if _, _, err := fs.Split(1.0, 1); !errors.Is(err, ErrBadParameter) {
+		t.Error("fraction 1.0 must be rejected")
+	}
+	var nilFS *FeatureSet
+	if _, _, err := nilFS.Split(0.5, 1); !errors.Is(err, ErrNoData) {
+		t.Error("nil feature set must fail")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := Matrix{{1, 10}, {2, 20}, {3, 30}}
+	s, err := FitScaler(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean[0]-2) > 1e-9 || math.Abs(s.Mean[1]-20) > 1e-9 {
+		t.Errorf("means = %v", s.Mean)
+	}
+	xt, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transformed columns must have approx zero mean.
+	for j := 0; j < 2; j++ {
+		sum := 0.0
+		for i := range xt {
+			sum += xt[i][j]
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Errorf("column %d mean after scaling = %v", j, sum/3)
+		}
+	}
+	if _, err := s.Transform(Matrix{{1}}); !errors.Is(err, ErrDimMismatch) {
+		t.Error("dimension mismatch must fail")
+	}
+	var nilScaler *Scaler
+	if _, err := nilScaler.Transform(x); !errors.Is(err, ErrNotFitted) {
+		t.Error("nil scaler must fail")
+	}
+	if _, err := FitScaler(Matrix{}); err == nil {
+		t.Error("empty matrix must fail")
+	}
+	// Constant columns must not divide by zero.
+	cs, err := FitScaler(Matrix{{5}, {5}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := cs.TransformRow([]float64{5})
+	if err != nil || math.IsNaN(row[0]) || math.IsInf(row[0], 0) {
+		t.Errorf("constant column transform = %v, %v", row, err)
+	}
+}
+
+// Property: scaling preserves the number of rows and columns and produces
+// finite values for finite inputs.
+func TestScalerPropertyShapePreserved(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		var x Matrix
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := raw[i], raw[i+1]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+				math.Abs(a) > 1e9 || math.Abs(b) > 1e9 {
+				return true
+			}
+			x = append(x, []float64{a, b})
+		}
+		s, err := FitScaler(x)
+		if err != nil {
+			return false
+		}
+		xt, err := s.Transform(x)
+		if err != nil || len(xt) != len(x) {
+			return false
+		}
+		for _, row := range xt {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Itemset is a set of items with its support (fraction of transactions that
+// contain every item of the set).
+type Itemset struct {
+	Items   []string
+	Support float64
+}
+
+// Key returns a canonical representation of the itemset (sorted, joined).
+func (s Itemset) Key() string {
+	items := append([]string(nil), s.Items...)
+	sort.Strings(items)
+	return strings.Join(items, ",")
+}
+
+// Rule is an association rule antecedent → consequent.
+type Rule struct {
+	Antecedent []string
+	Consequent []string
+	Support    float64
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule compactly.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (sup=%.3f conf=%.3f lift=%.2f)",
+		strings.Join(r.Antecedent, ","), strings.Join(r.Consequent, ","), r.Support, r.Confidence, r.Lift)
+}
+
+// Apriori mines frequent itemsets and association rules from transactions
+// (each transaction is the list of items it contains).
+type Apriori struct {
+	// MinSupport is the minimum fraction of transactions an itemset must
+	// appear in (default 0.05).
+	MinSupport float64
+	// MinConfidence is the minimum confidence for generated rules (default 0.5).
+	MinConfidence float64
+	// MaxItemsetSize bounds the size of mined itemsets (default 3).
+	MaxItemsetSize int
+}
+
+func (a *Apriori) defaults() {
+	if a.MinSupport <= 0 {
+		a.MinSupport = 0.05
+	}
+	if a.MinConfidence <= 0 {
+		a.MinConfidence = 0.5
+	}
+	if a.MaxItemsetSize <= 0 {
+		a.MaxItemsetSize = 3
+	}
+}
+
+// Mine returns frequent itemsets (sorted by descending support) and rules
+// (sorted by descending confidence, then lift).
+func (a *Apriori) Mine(transactions [][]string) ([]Itemset, []Rule, error) {
+	if len(transactions) == 0 {
+		return nil, nil, ErrNoData
+	}
+	a.defaults()
+	n := float64(len(transactions))
+
+	// Canonicalise transactions to sets.
+	txSets := make([]map[string]bool, len(transactions))
+	for i, tx := range transactions {
+		set := make(map[string]bool, len(tx))
+		for _, item := range tx {
+			if item != "" {
+				set[item] = true
+			}
+		}
+		txSets[i] = set
+	}
+
+	supportOf := func(items []string) float64 {
+		count := 0
+		for _, set := range txSets {
+			all := true
+			for _, it := range items {
+				if !set[it] {
+					all = false
+					break
+				}
+			}
+			if all {
+				count++
+			}
+		}
+		return float64(count) / n
+	}
+
+	// Level 1: frequent single items.
+	itemCounts := map[string]int{}
+	for _, set := range txSets {
+		for item := range set {
+			itemCounts[item]++
+		}
+	}
+	var frequent []Itemset
+	current := make([][]string, 0)
+	for item, count := range itemCounts {
+		sup := float64(count) / n
+		if sup >= a.MinSupport {
+			frequent = append(frequent, Itemset{Items: []string{item}, Support: sup})
+			current = append(current, []string{item})
+		}
+	}
+
+	// Levels 2..MaxItemsetSize: candidate generation by joining sets that
+	// share a prefix, then support counting.
+	supportIndex := map[string]float64{}
+	for _, f := range frequent {
+		supportIndex[f.Key()] = f.Support
+	}
+	for size := 2; size <= a.MaxItemsetSize && len(current) > 1; size++ {
+		candidates := generateCandidates(current, size)
+		var next [][]string
+		for _, cand := range candidates {
+			sup := supportOf(cand)
+			if sup >= a.MinSupport {
+				is := Itemset{Items: cand, Support: sup}
+				frequent = append(frequent, is)
+				supportIndex[is.Key()] = sup
+				next = append(next, cand)
+			}
+		}
+		current = next
+	}
+
+	// Rule generation from itemsets of size >= 2.
+	var rules []Rule
+	for _, is := range frequent {
+		if len(is.Items) < 2 {
+			continue
+		}
+		for _, split := range nonEmptySplits(is.Items) {
+			antecedentSupport := supportIndex[Itemset{Items: split.antecedent}.Key()]
+			consequentSupport := supportIndex[Itemset{Items: split.consequent}.Key()]
+			if antecedentSupport == 0 {
+				antecedentSupport = supportOf(split.antecedent)
+			}
+			if consequentSupport == 0 {
+				consequentSupport = supportOf(split.consequent)
+			}
+			if antecedentSupport == 0 || consequentSupport == 0 {
+				continue
+			}
+			conf := is.Support / antecedentSupport
+			if conf < a.MinConfidence {
+				continue
+			}
+			rules = append(rules, Rule{
+				Antecedent: split.antecedent,
+				Consequent: split.consequent,
+				Support:    is.Support,
+				Confidence: conf,
+				Lift:       conf / consequentSupport,
+			})
+		}
+	}
+
+	sort.Slice(frequent, func(i, j int) bool {
+		if frequent[i].Support != frequent[j].Support {
+			return frequent[i].Support > frequent[j].Support
+		}
+		return frequent[i].Key() < frequent[j].Key()
+	})
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Lift != rules[j].Lift {
+			return rules[i].Lift > rules[j].Lift
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	return frequent, rules, nil
+}
+
+// generateCandidates joins frequent (size-1)-itemsets into size-itemsets,
+// deduplicating by canonical key.
+func generateCandidates(current [][]string, size int) [][]string {
+	seen := map[string][]string{}
+	for i := 0; i < len(current); i++ {
+		for j := i + 1; j < len(current); j++ {
+			union := map[string]bool{}
+			for _, it := range current[i] {
+				union[it] = true
+			}
+			for _, it := range current[j] {
+				union[it] = true
+			}
+			if len(union) != size {
+				continue
+			}
+			items := make([]string, 0, size)
+			for it := range union {
+				items = append(items, it)
+			}
+			sort.Strings(items)
+			seen[strings.Join(items, ",")] = items
+		}
+	}
+	out := make([][]string, 0, len(seen))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+type split struct {
+	antecedent []string
+	consequent []string
+}
+
+// nonEmptySplits enumerates all ways to split items into a non-empty
+// antecedent and non-empty consequent.
+func nonEmptySplits(items []string) []split {
+	n := len(items)
+	var out []split
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var a, c []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				a = append(a, items[i])
+			} else {
+				c = append(c, items[i])
+			}
+		}
+		out = append(out, split{antecedent: a, consequent: c})
+	}
+	return out
+}

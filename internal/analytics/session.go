@@ -1,0 +1,124 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is a single clickstream event used by the sessionizer.
+type Event struct {
+	UserID    int64
+	URL       string
+	At        time.Time
+	Converted bool
+}
+
+// Session groups consecutive events of one user separated by gaps shorter
+// than the sessionizer's timeout.
+type Session struct {
+	UserID    int64
+	Start     time.Time
+	End       time.Time
+	Events    int
+	Pages     []string
+	Converted bool
+}
+
+// Duration returns the session's wall-clock span.
+func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Sessionizer splits per-user event streams into sessions.
+type Sessionizer struct {
+	// Timeout is the maximum inactivity gap inside a session (default 30m).
+	Timeout time.Duration
+}
+
+// Sessionize groups events into sessions. Events may arrive in any order;
+// they are sorted per user by timestamp first.
+func (s *Sessionizer) Sessionize(events []Event) ([]Session, error) {
+	if len(events) == 0 {
+		return nil, ErrNoData
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Minute
+	}
+	byUser := map[int64][]Event{}
+	for _, ev := range events {
+		byUser[ev.UserID] = append(byUser[ev.UserID], ev)
+	}
+	users := make([]int64, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	var sessions []Session
+	for _, u := range users {
+		evs := byUser[u]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+		var cur *Session
+		for _, ev := range evs {
+			if cur == nil || ev.At.Sub(cur.End) > timeout {
+				if cur != nil {
+					sessions = append(sessions, *cur)
+				}
+				cur = &Session{UserID: u, Start: ev.At, End: ev.At}
+			}
+			cur.End = ev.At
+			cur.Events++
+			cur.Pages = append(cur.Pages, ev.URL)
+			cur.Converted = cur.Converted || ev.Converted
+		}
+		if cur != nil {
+			sessions = append(sessions, *cur)
+		}
+	}
+	return sessions, nil
+}
+
+// FunnelStep is one step of a conversion funnel report.
+type FunnelStep struct {
+	Page     string
+	Sessions int
+	Rate     float64 // fraction of all sessions reaching this step
+}
+
+// Funnel computes how many sessions touched each of the given pages, in order.
+func Funnel(sessions []Session, steps []string) ([]FunnelStep, error) {
+	if len(sessions) == 0 {
+		return nil, ErrNoData
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: funnel needs at least one step", ErrBadParameter)
+	}
+	out := make([]FunnelStep, len(steps))
+	for i, page := range steps {
+		count := 0
+		for _, s := range sessions {
+			for _, p := range s.Pages {
+				if p == page {
+					count++
+					break
+				}
+			}
+		}
+		out[i] = FunnelStep{Page: page, Sessions: count, Rate: float64(count) / float64(len(sessions))}
+	}
+	return out, nil
+}
+
+// ConversionRate returns the fraction of sessions with a conversion event.
+func ConversionRate(sessions []Session) float64 {
+	if len(sessions) == 0 {
+		return 0
+	}
+	converted := 0
+	for _, s := range sessions {
+		if s.Converted {
+			converted++
+		}
+	}
+	return float64(converted) / float64(len(sessions))
+}

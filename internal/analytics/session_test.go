@@ -1,0 +1,100 @@
+package analytics
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func clickEvents() []Event {
+	t0 := time.Date(2017, 3, 1, 10, 0, 0, 0, time.UTC)
+	return []Event{
+		// user 1, session 1: three events within minutes, converts.
+		{UserID: 1, URL: "/", At: t0},
+		{UserID: 1, URL: "/catalog", At: t0.Add(2 * time.Minute)},
+		{UserID: 1, URL: "/checkout", At: t0.Add(5 * time.Minute), Converted: true},
+		// user 1, session 2: after a 3 hour gap.
+		{UserID: 1, URL: "/help", At: t0.Add(3 * time.Hour)},
+		// user 2, single session, out of order on purpose.
+		{UserID: 2, URL: "/cart", At: t0.Add(10 * time.Minute)},
+		{UserID: 2, URL: "/", At: t0.Add(1 * time.Minute)},
+	}
+}
+
+func TestSessionize(t *testing.T) {
+	s := &Sessionizer{Timeout: 30 * time.Minute}
+	sessions, err := s.Sessionize(clickEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3: %+v", len(sessions), sessions)
+	}
+	// First session of user 1.
+	first := sessions[0]
+	if first.UserID != 1 || first.Events != 3 || !first.Converted {
+		t.Errorf("first session = %+v", first)
+	}
+	if first.Duration() != 5*time.Minute {
+		t.Errorf("first session duration = %v, want 5m", first.Duration())
+	}
+	// Second session of user 1 must not inherit conversion.
+	second := sessions[1]
+	if second.UserID != 1 || second.Converted || second.Events != 1 {
+		t.Errorf("second session = %+v", second)
+	}
+	// User 2's events must be re-ordered by time.
+	third := sessions[2]
+	if third.UserID != 2 || third.Pages[0] != "/" || third.Pages[1] != "/cart" {
+		t.Errorf("third session pages = %v", third.Pages)
+	}
+}
+
+func TestSessionizeDefaultsAndErrors(t *testing.T) {
+	s := &Sessionizer{}
+	if _, err := s.Sessionize(nil); !errors.Is(err, ErrNoData) {
+		t.Error("empty events must fail")
+	}
+	// Default 30m timeout: two events 20 minutes apart share a session.
+	t0 := time.Now().UTC()
+	sessions, err := s.Sessionize([]Event{
+		{UserID: 1, URL: "/", At: t0},
+		{UserID: 1, URL: "/b", At: t0.Add(20 * time.Minute)},
+	})
+	if err != nil || len(sessions) != 1 {
+		t.Errorf("sessions = %v, %v", sessions, err)
+	}
+}
+
+func TestFunnelAndConversionRate(t *testing.T) {
+	s := &Sessionizer{Timeout: 30 * time.Minute}
+	sessions, err := s.Sessionize(clickEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	funnel, err := Funnel(sessions, []string{"/", "/catalog", "/checkout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if funnel[0].Sessions != 2 { // user1 session1 and user2 session
+		t.Errorf("step / sessions = %d, want 2", funnel[0].Sessions)
+	}
+	if funnel[2].Sessions != 1 {
+		t.Errorf("step /checkout sessions = %d, want 1", funnel[2].Sessions)
+	}
+	if funnel[0].Rate <= funnel[2].Rate {
+		t.Error("funnel rates must narrow towards checkout")
+	}
+	if got := ConversionRate(sessions); got <= 0.3 || got >= 0.4 {
+		t.Errorf("conversion rate = %v, want 1/3", got)
+	}
+	if ConversionRate(nil) != 0 {
+		t.Error("conversion rate of no sessions must be 0")
+	}
+	if _, err := Funnel(nil, []string{"/"}); !errors.Is(err, ErrNoData) {
+		t.Error("empty sessions must fail")
+	}
+	if _, err := Funnel(sessions, nil); !errors.Is(err, ErrBadParameter) {
+		t.Error("empty steps must fail")
+	}
+}

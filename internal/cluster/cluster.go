@@ -1,0 +1,346 @@
+// Package cluster simulates the compute substrate the deployed Big Data
+// pipelines run on: a set of nodes with task slots, a task scheduler with
+// retries, failure injection, and a usage-based cost accounting model.
+//
+// The TOREADOR platform deploys pipelines onto Spark/Hadoop-class clusters;
+// this package is the substitution documented in DESIGN.md. Tasks are real Go
+// functions executed on a bounded worker pool (one worker per task slot), so
+// parallelism, stragglers, retries and accounting behave like a scaled-down
+// cluster rather than being numerically faked.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Node describes one simulated machine.
+type Node struct {
+	// ID is the unique node name.
+	ID string
+	// Slots is the number of tasks the node can run concurrently.
+	Slots int
+	// SpeedFactor scales simulated work duration: 1.0 is nominal, 0.5 runs
+	// twice as slow. It does not slow real computation, only the optional
+	// simulated service time added by tasks that request it.
+	SpeedFactor float64
+	// CostPerSlotHour is the accounting price of one busy slot-hour.
+	CostPerSlotHour float64
+	// FailureRate is the probability that a task attempt on this node fails
+	// with a transient error (failure injection).
+	FailureRate float64
+}
+
+// Validate reports configuration problems.
+func (n Node) Validate() error {
+	if n.ID == "" {
+		return errors.New("cluster: node id must not be empty")
+	}
+	if n.Slots < 1 {
+		return fmt.Errorf("cluster: node %s must have at least one slot", n.ID)
+	}
+	if n.SpeedFactor <= 0 {
+		return fmt.Errorf("cluster: node %s speed factor must be positive", n.ID)
+	}
+	if n.FailureRate < 0 || n.FailureRate >= 1 {
+		return fmt.Errorf("cluster: node %s failure rate %v out of [0,1)", n.ID, n.FailureRate)
+	}
+	return nil
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	Nodes []Node
+	// MaxAttempts is the number of times a failed task is retried before the
+	// job aborts. Values below 1 default to 3.
+	MaxAttempts int
+	// Seed drives failure injection; fixed seeds give reproducible runs.
+	Seed int64
+}
+
+// Uniform returns a homogeneous cluster configuration with the given number of
+// nodes and slots per node.
+func Uniform(nodes, slotsPerNode int, failureRate float64) Config {
+	cfg := Config{MaxAttempts: 3, Seed: 1}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, Node{
+			ID:              fmt.Sprintf("node-%02d", i+1),
+			Slots:           slotsPerNode,
+			SpeedFactor:     1.0,
+			CostPerSlotHour: 0.35,
+			FailureRate:     failureRate,
+		})
+	}
+	return cfg
+}
+
+// Task is one schedulable unit of work. Fn receives the execution context and
+// the node it was placed on.
+type Task struct {
+	// Name identifies the task in metrics and errors.
+	Name string
+	// Fn performs the work.
+	Fn func(ctx context.Context, node Node) error
+	// SimulatedServiceTime, when positive, adds an artificial busy wait scaled
+	// by the node's SpeedFactor, used by deployment cost estimation benches.
+	SimulatedServiceTime time.Duration
+}
+
+// Result reports the outcome of one task.
+type Result struct {
+	Task     string
+	Node     string
+	Attempts int
+	Err      error
+	Duration time.Duration
+}
+
+// ErrTaskFailed wraps a task error that exhausted its retry budget.
+var ErrTaskFailed = errors.New("cluster: task failed after retries")
+
+// errInjected marks a failure produced by the failure injector.
+var errInjected = errors.New("cluster: injected transient failure")
+
+// IsInjectedFailure reports whether err originates from failure injection.
+func IsInjectedFailure(err error) bool { return errors.Is(err, errInjected) }
+
+// Cluster is a running simulated cluster. Create with New, stop with Close.
+type Cluster struct {
+	cfg     Config
+	nodes   []Node
+	reg     *metrics.Registry
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+	usageMu sync.Mutex
+	// busySlotSeconds accumulates slot-seconds of executed work per node for
+	// cost accounting.
+	busySlotSeconds map[string]float64
+}
+
+// New validates cfg and returns a cluster ready to run jobs.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node is required")
+	}
+	seen := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	return &Cluster{
+		cfg:             cfg,
+		nodes:           append([]Node(nil), cfg.Nodes...),
+		reg:             metrics.NewRegistry(),
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		busySlotSeconds: make(map[string]float64),
+	}, nil
+}
+
+// Metrics exposes the cluster's metric registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// TotalSlots returns the number of task slots across all nodes.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Slots
+	}
+	return total
+}
+
+// Nodes returns a copy of the node list.
+func (c *Cluster) Nodes() []Node {
+	return append([]Node(nil), c.nodes...)
+}
+
+// slot pairs a node with one of its execution slots.
+type slot struct {
+	node Node
+}
+
+func (c *Cluster) slots() []slot {
+	var out []slot
+	for _, n := range c.nodes {
+		for s := 0; s < n.Slots; s++ {
+			out = append(out, slot{node: n})
+		}
+	}
+	return out
+}
+
+func (c *Cluster) injectFailure(n Node) bool {
+	if n.FailureRate <= 0 {
+		return false
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Float64() < n.FailureRate
+}
+
+func (c *Cluster) recordUsage(nodeID string, d time.Duration) {
+	c.usageMu.Lock()
+	defer c.usageMu.Unlock()
+	c.busySlotSeconds[nodeID] += d.Seconds()
+}
+
+// RunJob executes all tasks on the cluster's slots, retrying transient
+// failures up to MaxAttempts per task. It returns the per-task results; the
+// error is non-nil if any task ultimately failed or the context was cancelled.
+func (c *Cluster) RunJob(ctx context.Context, tasks []Task) ([]Result, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	slots := c.slots()
+	type indexed struct {
+		idx  int
+		task Task
+	}
+	queue := make(chan indexed, len(tasks))
+	for i, t := range tasks {
+		queue <- indexed{idx: i, task: t}
+	}
+	close(queue)
+
+	results := make([]Result, len(tasks))
+	var wg sync.WaitGroup
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for _, sl := range slots {
+		wg.Add(1)
+		go func(sl slot) {
+			defer wg.Done()
+			for it := range queue {
+				res := c.runTask(jobCtx, sl.node, it.task)
+				results[it.idx] = res
+				if res.Err != nil {
+					// Abort the rest of the job: a failed task beyond the
+					// retry budget fails the whole job, like a Spark stage.
+					cancel()
+				}
+			}
+		}(sl)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("cluster: job cancelled: %w", err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("%w: %s on %s: %v", ErrTaskFailed, r.Task, r.Node, r.Err)
+		}
+	}
+	return results, nil
+}
+
+func (c *Cluster) runTask(ctx context.Context, node Node, task Task) Result {
+	res := Result{Task: task.Name, Node: node.ID}
+	start := time.Now()
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		res.Attempts = attempt
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			break
+		}
+		c.reg.Counter("tasks.attempts").Inc()
+		err := c.attempt(ctx, node, task)
+		if err == nil {
+			res.Err = nil
+			c.reg.Counter("tasks.succeeded").Inc()
+			break
+		}
+		res.Err = err
+		c.reg.Counter("tasks.failed_attempts").Inc()
+		if !IsInjectedFailure(err) {
+			// Real task errors are not retried: they are deterministic.
+			break
+		}
+		c.reg.Counter("tasks.retries").Inc()
+	}
+	res.Duration = time.Since(start)
+	c.recordUsage(node.ID, res.Duration)
+	c.reg.Timer("task.duration").ObserveDuration(res.Duration)
+	if res.Err != nil {
+		c.reg.Counter("tasks.exhausted").Inc()
+	}
+	return res
+}
+
+func (c *Cluster) attempt(ctx context.Context, node Node, task Task) error {
+	if c.injectFailure(node) {
+		return errInjected
+	}
+	if task.SimulatedServiceTime > 0 {
+		d := time.Duration(float64(task.SimulatedServiceTime) / node.SpeedFactor)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if task.Fn == nil {
+		return nil
+	}
+	return task.Fn(ctx, node)
+}
+
+// UsageReport summarises resource consumption and its monetary cost.
+type UsageReport struct {
+	// BusySlotSeconds per node.
+	BusySlotSeconds map[string]float64
+	// TotalCost in the cluster's currency unit.
+	TotalCost float64
+	// TasksRun is the number of successful task executions.
+	TasksRun int64
+	// Retries is the number of retried attempts.
+	Retries int64
+}
+
+// Usage returns the accumulated usage since the cluster was created.
+func (c *Cluster) Usage() UsageReport {
+	c.usageMu.Lock()
+	defer c.usageMu.Unlock()
+	rep := UsageReport{BusySlotSeconds: make(map[string]float64, len(c.busySlotSeconds))}
+	costPerNode := map[string]float64{}
+	for _, n := range c.nodes {
+		costPerNode[n.ID] = n.CostPerSlotHour
+	}
+	for id, secs := range c.busySlotSeconds {
+		rep.BusySlotSeconds[id] = secs
+		rep.TotalCost += secs / 3600 * costPerNode[id]
+	}
+	snap := c.reg.Snapshot()
+	rep.TasksRun = snap.CounterValue("tasks.succeeded")
+	rep.Retries = snap.CounterValue("tasks.retries")
+	return rep
+}
+
+// String renders the usage report sorted by node id.
+func (u UsageReport) String() string {
+	ids := make([]string, 0, len(u.BusySlotSeconds))
+	for id := range u.BusySlotSeconds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	s := fmt.Sprintf("tasks=%d retries=%d cost=%.4f", u.TasksRun, u.Retries, u.TotalCost)
+	for _, id := range ids {
+		s += fmt.Sprintf(" %s=%.3fs", id, u.BusySlotSeconds[id])
+	}
+	return s
+}

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeValidate(t *testing.T) {
+	good := Node{ID: "n1", Slots: 2, SpeedFactor: 1, FailureRate: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid node rejected: %v", err)
+	}
+	bad := []Node{
+		{ID: "", Slots: 1, SpeedFactor: 1},
+		{ID: "x", Slots: 0, SpeedFactor: 1},
+		{ID: "x", Slots: 1, SpeedFactor: 0},
+		{ID: "x", Slots: 1, SpeedFactor: 1, FailureRate: 1.0},
+		{ID: "x", Slots: 1, SpeedFactor: 1, FailureRate: -0.1},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad node %d accepted: %+v", i, n)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config must be rejected")
+	}
+	cfg := Uniform(2, 2, 0)
+	cfg.Nodes[1].ID = cfg.Nodes[0].ID
+	if _, err := New(cfg); err == nil {
+		t.Error("duplicate node ids must be rejected")
+	}
+}
+
+func TestUniformConfig(t *testing.T) {
+	cfg := Uniform(3, 4, 0.05)
+	if len(cfg.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(cfg.Nodes))
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalSlots() != 12 {
+		t.Errorf("TotalSlots = %d, want 12", c.TotalSlots())
+	}
+	if len(c.Nodes()) != 3 {
+		t.Errorf("Nodes() = %d entries, want 3", len(c.Nodes()))
+	}
+}
+
+func TestRunJobExecutesEveryTaskExactlyOnce(t *testing.T) {
+	c, err := New(Uniform(2, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	var executed [n]atomic.Int32
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task{
+			Name: "t",
+			Fn: func(ctx context.Context, node Node) error {
+				executed[i].Add(1)
+				return nil
+			},
+		}
+	}
+	results, err := c.RunJob(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i := range executed {
+		if got := executed[i].Load(); got != 1 {
+			t.Errorf("task %d executed %d times, want exactly 1", i, got)
+		}
+	}
+	usage := c.Usage()
+	if usage.TasksRun != n {
+		t.Errorf("usage.TasksRun = %d, want %d", usage.TasksRun, n)
+	}
+}
+
+func TestRunJobEmpty(t *testing.T) {
+	c, _ := New(Uniform(1, 1, 0))
+	res, err := c.RunJob(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty job = %v, %v; want nil, nil", res, err)
+	}
+}
+
+func TestRunJobRetriesInjectedFailures(t *testing.T) {
+	cfg := Uniform(1, 2, 0.4)
+	cfg.MaxAttempts = 10
+	cfg.Seed = 99
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]Task, 30)
+	for i := range tasks {
+		tasks[i] = Task{Name: "flaky", Fn: func(ctx context.Context, node Node) error { return nil }}
+	}
+	if _, err := c.RunJob(context.Background(), tasks); err != nil {
+		t.Fatalf("job with retries should eventually succeed: %v", err)
+	}
+	if c.Usage().Retries == 0 {
+		t.Error("with a 40% failure rate some retries must have happened")
+	}
+}
+
+func TestRunJobDeterministicFailuresNotRetried(t *testing.T) {
+	c, err := New(Uniform(1, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	tasks := []Task{{
+		Name: "deterministic-failure",
+		Fn: func(ctx context.Context, node Node) error {
+			calls.Add(1)
+			return boom
+		},
+	}}
+	_, err = c.RunJob(context.Background(), tasks)
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+	if !errors.Is(err, ErrTaskFailed) || calls.Load() != 1 {
+		t.Errorf("deterministic failure retried %d times, want 1 attempt", calls.Load())
+	}
+}
+
+func TestRunJobFailureAfterRetryBudget(t *testing.T) {
+	cfg := Uniform(1, 1, 0.99)
+	cfg.MaxAttempts = 2
+	cfg.Seed = 7
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 99% injected failure rate and only 2 attempts, failure is near
+	// certain across 20 tasks.
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{Name: "doomed"}
+	}
+	if _, err := c.RunJob(context.Background(), tasks); err == nil {
+		t.Skip("statistically improbable: all doomed tasks passed")
+	} else if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestRunJobContextCancellation(t *testing.T) {
+	c, err := New(Uniform(1, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task{{Name: "never", Fn: func(ctx context.Context, node Node) error { return nil }}}
+	if _, err := c.RunJob(ctx, tasks); err == nil {
+		t.Error("cancelled context must fail the job")
+	}
+}
+
+func TestSimulatedServiceTimeAndUsage(t *testing.T) {
+	cfg := Config{
+		Nodes: []Node{
+			{ID: "fast", Slots: 1, SpeedFactor: 2.0, CostPerSlotHour: 1.0},
+		},
+		Seed: 1,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.RunJob(context.Background(), []Task{{Name: "sleep", SimulatedServiceTime: 20 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// SpeedFactor 2 halves the simulated 20ms to ~10ms.
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("simulated service took too long: %v", elapsed)
+	}
+	usage := c.Usage()
+	if usage.TotalCost <= 0 {
+		t.Error("usage must accrue cost for busy slot time")
+	}
+	if usage.String() == "" {
+		t.Error("usage string must not be empty")
+	}
+}
+
+func TestIsInjectedFailure(t *testing.T) {
+	if !IsInjectedFailure(errInjected) {
+		t.Error("errInjected must be recognised")
+	}
+	if IsInjectedFailure(errors.New("other")) {
+		t.Error("foreign errors must not be recognised as injected")
+	}
+}
+
+// Property: every submitted task appears exactly once in the results with its
+// own name, regardless of cluster shape.
+func TestRunJobPropertyAllTasksReported(t *testing.T) {
+	f := func(nodes, slots, tasks uint8) bool {
+		n := int(nodes%3) + 1
+		s := int(slots%3) + 1
+		k := int(tasks % 40)
+		c, err := New(Uniform(n, s, 0))
+		if err != nil {
+			return false
+		}
+		ts := make([]Task, k)
+		for i := range ts {
+			ts[i] = Task{Name: "t", Fn: func(ctx context.Context, node Node) error { return nil }}
+		}
+		res, err := c.RunJob(context.Background(), ts)
+		if err != nil {
+			return false
+		}
+		return len(res) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	c, _ := New(Uniform(1, 1, 0))
+	_, _ = c.RunJob(context.Background(), []Task{{Name: "m", Fn: func(ctx context.Context, n Node) error { return nil }}})
+	snap := c.Metrics().Snapshot()
+	if snap.CounterValue("tasks.succeeded") != 1 {
+		t.Errorf("tasks.succeeded = %d, want 1", snap.CounterValue("tasks.succeeded"))
+	}
+	if snap.CounterValue("tasks.attempts") != 1 {
+		t.Errorf("tasks.attempts = %d, want 1", snap.CounterValue("tasks.attempts"))
+	}
+}

@@ -1,0 +1,546 @@
+// Package core implements the primary contribution of the reproduced paper:
+// the model-driven BDAaaS compiler that turns a declarative Big Data campaign
+// (goals, indicators, objectives, privacy regime, preferences) into a
+// ready-to-be-executed pipeline — a procedural service composition bound to a
+// deployment plan — and that enumerates and compares the alternative designs a
+// TOREADOR Labs trainee is asked to explore.
+//
+// Compilation proceeds through the phases the TOREADOR methodology
+// prescribes:
+//
+//  1. validate the declarative model and resolve data sources;
+//  2. match catalog services able to satisfy the goal in each design area;
+//  3. compose candidate procedural models (service DAGs);
+//  4. check each candidate against the compliance rules;
+//  5. bind candidates to deployment platforms and estimate cost/latency.
+//
+// The same machinery exposes EnumerateAlternatives (the full design space,
+// used by the planner and the Labs) and Interference (how a choice in one
+// design stage — typically the privacy regime — restricts the options left in
+// the other stages), which reproduces the paper's central training claim.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/compliance"
+	"repro/internal/deployment"
+	"repro/internal/model"
+	"repro/internal/procedural"
+	"repro/internal/sla"
+	"repro/internal/storage"
+)
+
+// Errors returned by the compiler.
+var (
+	ErrUnknownSource          = errors.New("core: campaign references an unregistered data source")
+	ErrNoCandidateService     = errors.New("core: no catalog service implements the campaign goal")
+	ErrNoCompliantAlternative = errors.New("core: no compliant alternative satisfies the campaign")
+)
+
+// Compiler is the model-driven transformation engine.
+type Compiler struct {
+	catalog    *catalog.Registry
+	compliance *compliance.Engine
+	binder     *deployment.Binder
+	data       *storage.Catalog
+}
+
+// Option configures compiler construction.
+type Option func(*Compiler)
+
+// WithCatalog overrides the service catalog (default: catalog.DefaultRegistry).
+func WithCatalog(r *catalog.Registry) Option {
+	return func(c *Compiler) { c.catalog = r }
+}
+
+// WithComplianceEngine overrides the compliance engine (default rules).
+func WithComplianceEngine(e *compliance.Engine) Option {
+	return func(c *Compiler) { c.compliance = e }
+}
+
+// WithBinder overrides the deployment binder.
+func WithBinder(b *deployment.Binder) Option {
+	return func(c *Compiler) { c.binder = b }
+}
+
+// NewCompiler returns a compiler that resolves data sources against the given
+// storage catalog.
+func NewCompiler(data *storage.Catalog, opts ...Option) (*Compiler, error) {
+	if data == nil {
+		return nil, fmt.Errorf("core: compiler requires a data catalog")
+	}
+	c := &Compiler{
+		catalog:    catalog.DefaultRegistry(),
+		compliance: compliance.NewEngine(),
+		binder:     deployment.NewBinder(),
+		data:       data,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Catalog returns the compiler's service catalog.
+func (c *Compiler) Catalog() *catalog.Registry { return c.catalog }
+
+// Alternative is one fully elaborated design option: a service composition,
+// its deployment plan, its compliance report and its estimated indicators.
+type Alternative struct {
+	// Index is the position of the alternative in enumeration order.
+	Index int
+	// Composition is the procedural model.
+	Composition *procedural.Composition
+	// Plan is the bound deployment.
+	Plan *deployment.Plan
+	// Compliance is the rule-engine report for this composition/deployment.
+	Compliance compliance.Report
+	// Estimates are the statically estimated indicator values (measured
+	// values come from actually running the pipeline).
+	Estimates sla.Measurement
+	// Evaluation scores the estimates against the campaign objectives.
+	Evaluation sla.Evaluation
+}
+
+// Compliant reports whether the alternative passed the compliance check.
+func (a Alternative) Compliant() bool { return a.Compliance.Compliant() }
+
+// Fingerprint identifies the alternative by its service chain and platform.
+func (a Alternative) Fingerprint() string {
+	return fmt.Sprintf("%s @ %s", a.Composition.Fingerprint(), a.Plan.Platform)
+}
+
+// PhaseTimings records the wall-clock spent in each compilation phase
+// (reproduced as Table 4).
+type PhaseTimings struct {
+	Validate time.Duration
+	Match    time.Duration
+	Compose  time.Duration
+	Comply   time.Duration
+	Bind     time.Duration
+}
+
+// Total returns the end-to-end compilation time.
+func (p PhaseTimings) Total() time.Duration {
+	return p.Validate + p.Match + p.Compose + p.Comply + p.Bind
+}
+
+// CompileResult is the output of Compile.
+type CompileResult struct {
+	// Campaign is the validated declarative model.
+	Campaign *model.Campaign
+	// Chosen is the selected best alternative.
+	Chosen Alternative
+	// Alternatives is the full enumerated design space, in enumeration order.
+	Alternatives []Alternative
+	// SourceRows is the resolved size of the campaign's target table.
+	SourceRows int
+	// Timings records per-phase compilation cost.
+	Timings PhaseTimings
+}
+
+// CompliantAlternatives returns only the compliant alternatives.
+func (r *CompileResult) CompliantAlternatives() []Alternative {
+	var out []Alternative
+	for _, a := range r.Alternatives {
+		if a.Compliant() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// sourceInfo is the resolved information about the campaign's data.
+type sourceInfo struct {
+	rows        int
+	sensitivity storage.Sensitivity
+}
+
+// resolveSources validates that every declared source exists and returns the
+// row count of the target table and the maximum sensitivity across sources.
+func (c *Compiler) resolveSources(campaign *model.Campaign) (sourceInfo, error) {
+	info := sourceInfo{sensitivity: storage.Public}
+	for _, src := range campaign.Sources {
+		tbl, err := c.data.Lookup(src.Table)
+		if err != nil {
+			return info, fmt.Errorf("%w: %q", ErrUnknownSource, src.Table)
+		}
+		if s := tbl.Schema().MaxSensitivity(); s > info.sensitivity {
+			info.sensitivity = s
+		}
+		if src.ContainsPersonalData && info.sensitivity < storage.Personal {
+			info.sensitivity = storage.Personal
+		}
+		if src.Table == campaign.Goal.TargetTable {
+			info.rows = tbl.NumRows()
+		}
+	}
+	return info, nil
+}
+
+// matchResult is the per-area candidate sets found by the matching phase.
+type matchResult struct {
+	analytics   []catalog.Descriptor
+	privacyPrep []catalog.Descriptor // optional anonymisation services (plus a "none" slot)
+	basePrep    []catalog.Descriptor // always-applied preparation (cleaning)
+	normalize   []catalog.Descriptor // optional normalisation for feature-based tasks
+	ingestion   map[deployment.Platform]catalog.Descriptor
+	processing  map[deployment.Platform]catalog.Descriptor
+	display     []catalog.Descriptor
+}
+
+// match finds the candidate services for the campaign in each design area.
+func (c *Compiler) match(campaign *model.Campaign) (matchResult, error) {
+	var m matchResult
+	m.analytics = c.catalog.CandidatesForTask(campaign.Goal.Task)
+	if len(m.analytics) == 0 {
+		return m, fmt.Errorf("%w: task %q", ErrNoCandidateService, campaign.Goal.Task)
+	}
+	m.basePrep = c.catalog.ByCapability("clean_missing")
+	m.normalize = c.catalog.ByCapability("normalize_features")
+	m.privacyPrep = append(c.catalog.ByCapability("pseudonymize"), c.catalog.ByCapability("anonymize_strict")...)
+	m.ingestion = map[deployment.Platform]catalog.Descriptor{}
+	for _, d := range c.catalog.ByCapability("ingest_batch") {
+		m.ingestion[deployment.PlatformBatch] = d
+		m.ingestion[deployment.PlatformSingleNode] = d
+	}
+	for _, d := range c.catalog.ByCapability("ingest_stream") {
+		m.ingestion[deployment.PlatformStreaming] = d
+	}
+	m.processing = map[deployment.Platform]catalog.Descriptor{}
+	for _, d := range c.catalog.ByCapability("process_batch") {
+		m.processing[deployment.PlatformBatch] = d
+		m.processing[deployment.PlatformSingleNode] = d
+	}
+	for _, d := range c.catalog.ByCapability("process_stream") {
+		m.processing[deployment.PlatformStreaming] = d
+	}
+	m.display = c.catalog.ByArea(model.AreaDisplay)
+	if len(m.basePrep) == 0 || len(m.ingestion) == 0 || len(m.processing) == 0 || len(m.display) == 0 {
+		return m, fmt.Errorf("%w: the catalog is missing mandatory areas", ErrNoCandidateService)
+	}
+	return m, nil
+}
+
+// featureBasedTask reports whether the task consumes numeric feature vectors
+// (and therefore benefits from normalisation).
+func featureBasedTask(t model.AnalyticsTask) bool {
+	switch t {
+	case model.TaskClassification, model.TaskClustering:
+		return true
+	default:
+		return false
+	}
+}
+
+// compose builds every candidate composition (before compliance filtering).
+func (c *Compiler) compose(campaign *model.Campaign, m matchResult) []*procedural.Composition {
+	// Privacy preparation options: none + every anonymiser in the catalog.
+	privacyOptions := make([]*catalog.Descriptor, 0, len(m.privacyPrep)+1)
+	privacyOptions = append(privacyOptions, nil)
+	for i := range m.privacyPrep {
+		privacyOptions = append(privacyOptions, &m.privacyPrep[i])
+	}
+	normalizeOptions := []bool{false}
+	if featureBasedTask(campaign.Goal.Task) && len(m.normalize) > 0 {
+		normalizeOptions = append(normalizeOptions, true)
+	}
+	platforms := []deployment.Platform{deployment.PlatformBatch, deployment.PlatformStreaming}
+
+	var out []*procedural.Composition
+	for _, privacy := range privacyOptions {
+		for _, normalize := range normalizeOptions {
+			for _, analytics := range m.analytics {
+				for _, platform := range platforms {
+					ingest, okIngest := m.ingestion[platform]
+					process, okProcess := m.processing[platform]
+					if !okIngest || !okProcess {
+						continue
+					}
+					for _, display := range m.display {
+						comp := c.buildComposition(campaign, ingest, m.basePrep[0], privacy, normalize, m.normalize, analytics, process, display)
+						if comp == nil {
+							continue
+						}
+						// Only keep compositions whose every step supports the
+						// intended processing style.
+						if platform == deployment.PlatformStreaming && !comp.SupportsStreaming() {
+							continue
+						}
+						if platform != deployment.PlatformStreaming && !comp.SupportsBatch() {
+							continue
+						}
+						out = append(out, comp)
+					}
+				}
+			}
+		}
+	}
+	return dedupeCompositions(out)
+}
+
+func dedupeCompositions(in []*procedural.Composition) []*procedural.Composition {
+	seen := map[string]bool{}
+	var out []*procedural.Composition
+	for _, comp := range in {
+		fp := comp.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, comp)
+	}
+	return out
+}
+
+// buildComposition assembles one linear composition.
+func (c *Compiler) buildComposition(campaign *model.Campaign,
+	ingest, basePrep catalog.Descriptor, privacy *catalog.Descriptor,
+	normalize bool, normalizeServices []catalog.Descriptor,
+	analytics, process, display catalog.Descriptor) *procedural.Composition {
+
+	comp := &procedural.Composition{Campaign: campaign.Name}
+	prev := ""
+	add := func(id string, d catalog.Descriptor, params map[string]string) {
+		step := procedural.Step{ID: id, Service: d, Params: params}
+		if prev != "" {
+			step.DependsOn = []string{prev}
+		}
+		comp.Steps = append(comp.Steps, step)
+		prev = id
+	}
+	add("ingest", ingest, map[string]string{"table": campaign.Goal.TargetTable})
+	add("clean", basePrep, nil)
+	if privacy != nil {
+		add("privacy", *privacy, nil)
+	}
+	if normalize && len(normalizeServices) > 0 {
+		add("normalize", normalizeServices[0], nil)
+	}
+	add("analyze", analytics, analyticsParams(campaign))
+	add("process", process, nil)
+	add("display", display, nil)
+	if err := comp.Validate(); err != nil {
+		return nil
+	}
+	return comp
+}
+
+// analyticsParams maps the campaign goal onto the analytics step parameters
+// the runner consumes.
+func analyticsParams(campaign *model.Campaign) map[string]string {
+	p := map[string]string{
+		"table": campaign.Goal.TargetTable,
+	}
+	if campaign.Goal.LabelColumn != "" {
+		p["label"] = campaign.Goal.LabelColumn
+	}
+	if len(campaign.Goal.FeatureColumns) > 0 {
+		p["features"] = joinColumns(campaign.Goal.FeatureColumns)
+	}
+	if campaign.Goal.ValueColumn != "" {
+		p["value"] = campaign.Goal.ValueColumn
+	}
+	if campaign.Goal.TimeColumn != "" {
+		p["time"] = campaign.Goal.TimeColumn
+	}
+	if campaign.Goal.ItemColumn != "" {
+		p["item"] = campaign.Goal.ItemColumn
+	}
+	if campaign.Goal.TransactionColumn != "" {
+		p["transaction"] = campaign.Goal.TransactionColumn
+	}
+	if len(campaign.Goal.GroupColumns) > 0 {
+		p["group"] = joinColumns(campaign.Goal.GroupColumns)
+	}
+	return p
+}
+
+func joinColumns(cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+// elaborate turns a composition into a full alternative: compliance check,
+// deployment binding, indicator estimation and objective evaluation.
+func (c *Compiler) elaborate(campaign *model.Campaign, comp *procedural.Composition,
+	info sourceInfo, index int) (Alternative, bool) {
+
+	platform := deployment.PlatformBatch
+	if comp.SupportsStreaming() && !comp.SupportsBatch() {
+		platform = deployment.PlatformStreaming
+	} else if campaign.Preferences.Streaming && comp.SupportsStreaming() {
+		platform = deployment.PlatformStreaming
+	}
+	plan, err := c.binder.Bind(comp, platform, info.rows, campaign.Preferences)
+	if err != nil {
+		return Alternative{}, false
+	}
+	report, err := c.compliance.Evaluate(compliance.Input{
+		Campaign:         campaign,
+		Composition:      comp,
+		DataSensitivity:  info.sensitivity,
+		DeploymentRegion: plan.Region,
+	})
+	if err != nil {
+		return Alternative{}, false
+	}
+	estimates := estimateIndicators(comp, plan, report, info.rows)
+	alt := Alternative{
+		Index:       index,
+		Composition: comp,
+		Plan:        plan,
+		Compliance:  report,
+		Estimates:   estimates,
+		Evaluation:  sla.Evaluate(campaign.Objectives, estimates),
+	}
+	return alt, true
+}
+
+// estimateIndicators derives the static indicator estimates of an alternative.
+func estimateIndicators(comp *procedural.Composition, plan *deployment.Plan,
+	report compliance.Report, rows int) sla.Measurement {
+
+	m := sla.Measurement{
+		model.IndicatorAccuracy:  comp.EstimateQuality(),
+		model.IndicatorCost:      plan.EstimatedCost,
+		model.IndicatorLatency:   plan.EstimatedLatencyMillis,
+		model.IndicatorPrivacy:   report.PrivacyScore,
+		model.IndicatorFreshness: plan.EstimatedFreshnessSeconds,
+	}
+	if plan.EstimatedLatencyMillis > 0 {
+		m[model.IndicatorThroughput] = float64(rows) / (plan.EstimatedLatencyMillis / 1000)
+	}
+	return m
+}
+
+// EnumerateAlternatives compiles the campaign into every distinct design
+// alternative, without choosing among them. The timings output parameter is
+// optional.
+func (c *Compiler) EnumerateAlternatives(campaign *model.Campaign) ([]Alternative, PhaseTimings, error) {
+	var timings PhaseTimings
+
+	start := time.Now()
+	if err := campaign.Validate(); err != nil {
+		return nil, timings, err
+	}
+	info, err := c.resolveSources(campaign)
+	if err != nil {
+		return nil, timings, err
+	}
+	timings.Validate = time.Since(start)
+
+	start = time.Now()
+	matched, err := c.match(campaign)
+	if err != nil {
+		return nil, timings, err
+	}
+	timings.Match = time.Since(start)
+
+	start = time.Now()
+	compositions := c.compose(campaign, matched)
+	timings.Compose = time.Since(start)
+
+	start = time.Now()
+	var alternatives []Alternative
+	for _, comp := range compositions {
+		alt, ok := c.elaborate(campaign, comp, info, len(alternatives))
+		if !ok {
+			continue
+		}
+		alternatives = append(alternatives, alt)
+	}
+	// Split comply/bind timing evenly: elaborate interleaves them; the split
+	// is only informative for Table 4.
+	elapsed := time.Since(start)
+	timings.Comply = elapsed / 2
+	timings.Bind = elapsed - timings.Comply
+
+	if len(alternatives) == 0 {
+		return nil, timings, fmt.Errorf("%w: %q", ErrNoCandidateService, campaign.Name)
+	}
+	return alternatives, timings, nil
+}
+
+// Compile enumerates the design space and selects the best compliant
+// alternative: feasible and highest estimated objective score, with ties
+// broken by lower estimated cost and then enumeration order.
+func (c *Compiler) Compile(campaign *model.Campaign) (*CompileResult, error) {
+	alternatives, timings, err := c.EnumerateAlternatives(campaign)
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.resolveSources(campaign)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := SelectBest(campaign, alternatives)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		Campaign:     campaign,
+		Chosen:       chosen,
+		Alternatives: alternatives,
+		SourceRows:   info.rows,
+		Timings:      timings,
+	}, nil
+}
+
+// SelectBest picks the best alternative for the campaign: only compliant
+// alternatives within the declared budget are considered; among them,
+// alternatives matching the user's processing-style preference come first,
+// then the best objective evaluation wins (sla.Compare), with ties broken by
+// lower estimated cost and finally by enumeration order.
+func SelectBest(campaign *model.Campaign, alternatives []Alternative) (Alternative, error) {
+	candidates := make([]Alternative, 0, len(alternatives))
+	for _, a := range alternatives {
+		if !a.Compliant() {
+			continue
+		}
+		if campaign.Preferences.MaxBudget > 0 {
+			if cost, ok := a.Estimates.Get(model.IndicatorCost); ok && cost > campaign.Preferences.MaxBudget {
+				continue
+			}
+		}
+		candidates = append(candidates, a)
+	}
+	if len(candidates) == 0 {
+		return Alternative{}, fmt.Errorf("%w: %q (%d alternatives examined)", ErrNoCompliantAlternative, campaign.Name, len(alternatives))
+	}
+	prefersStreaming := campaign.Preferences.Streaming
+	matchesPreference := func(a Alternative) bool {
+		if !prefersStreaming {
+			return true
+		}
+		return a.Plan.Platform == deployment.PlatformStreaming
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		mi, mj := matchesPreference(candidates[i]), matchesPreference(candidates[j])
+		if mi != mj {
+			return mi
+		}
+		cmp := sla.Compare(candidates[i].Evaluation, candidates[j].Evaluation)
+		if cmp != 0 {
+			return cmp > 0
+		}
+		ci, _ := candidates[i].Estimates.Get(model.IndicatorCost)
+		cj, _ := candidates[j].Estimates.Get(model.IndicatorCost)
+		if ci != cj {
+			return ci < cj
+		}
+		return candidates[i].Index < candidates[j].Index
+	})
+	return candidates[0], nil
+}

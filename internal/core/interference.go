@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// InterferencePoint reports, for one privacy regime, how many design options
+// survive in each stage of the campaign's design space. Sweeping the regime
+// from none to strict makes the paper's "interconnections and interferences
+// of the different design stages" measurable (reproduced as Figure 1).
+type InterferencePoint struct {
+	// Regime applied to the campaign for this point.
+	Regime model.PrivacyRegime
+	// TotalAlternatives enumerated (independent of compliance).
+	TotalAlternatives int
+	// CompliantAlternatives that pass every blocking compliance rule.
+	CompliantAlternatives int
+	// PreparationOptions is the number of distinct privacy-preparation
+	// choices (including "no anonymisation") present among compliant
+	// alternatives.
+	PreparationOptions int
+	// AnalyticsOptions is the number of distinct analytics services present
+	// among compliant alternatives.
+	AnalyticsOptions int
+	// DisplayOptions is the number of distinct display services present among
+	// compliant alternatives.
+	DisplayOptions int
+	// PlatformOptions is the number of distinct deployment platforms present
+	// among compliant alternatives.
+	PlatformOptions int
+}
+
+// Interference sweeps the campaign across every privacy regime and reports
+// the per-stage option counts that survive compliance checking. The campaign
+// itself is not modified.
+func (c *Compiler) Interference(campaign *model.Campaign) ([]InterferencePoint, error) {
+	if err := campaign.Validate(); err != nil {
+		return nil, err
+	}
+	var points []InterferencePoint
+	for _, regime := range model.Regimes() {
+		variant := campaign.Clone()
+		variant.Regime = regime
+		alternatives, _, err := c.EnumerateAlternatives(variant)
+		if err != nil {
+			return nil, fmt.Errorf("core: interference sweep at regime %s: %w", regime, err)
+		}
+		point := InterferencePoint{Regime: regime, TotalAlternatives: len(alternatives)}
+		prep := map[string]bool{}
+		analytics := map[string]bool{}
+		display := map[string]bool{}
+		platforms := map[string]bool{}
+		for _, alt := range alternatives {
+			if !alt.Compliant() {
+				continue
+			}
+			point.CompliantAlternatives++
+			prepChoice := "none"
+			for _, step := range alt.Composition.StepsByArea(model.AreaPreparation) {
+				if step.Service.Anonymizes {
+					prepChoice = step.Service.ID
+				}
+			}
+			prep[prepChoice] = true
+			if step, ok := alt.Composition.AnalyticsStep(); ok {
+				analytics[step.Service.ID] = true
+			}
+			for _, step := range alt.Composition.StepsByArea(model.AreaDisplay) {
+				display[step.Service.ID] = true
+			}
+			platforms[string(alt.Plan.Platform)] = true
+		}
+		point.PreparationOptions = len(prep)
+		point.AnalyticsOptions = len(analytics)
+		point.DisplayOptions = len(display)
+		point.PlatformOptions = len(platforms)
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// WhatIfReport compares the compiled outcome of two campaign variants — the
+// "trial and error" comparison a Labs trainee performs when changing one
+// design decision and recompiling.
+type WhatIfReport struct {
+	// Base and Variant are the two compile results.
+	Base, Variant *CompileResult
+	// Deltas is variant-minus-base for every estimated indicator present in
+	// both chosen alternatives.
+	Deltas map[model.Indicator]float64
+	// ChangedServices lists services present in exactly one of the two chosen
+	// compositions.
+	ChangedServices []string
+}
+
+// WhatIf compiles both campaigns and reports how the chosen alternative's
+// estimated indicators move between them.
+func (c *Compiler) WhatIf(base, variant *model.Campaign) (*WhatIfReport, error) {
+	baseResult, err := c.Compile(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: what-if base: %w", err)
+	}
+	variantResult, err := c.Compile(variant)
+	if err != nil {
+		return nil, fmt.Errorf("core: what-if variant: %w", err)
+	}
+	report := &WhatIfReport{
+		Base:    baseResult,
+		Variant: variantResult,
+		Deltas:  map[model.Indicator]float64{},
+	}
+	for _, ind := range model.Indicators() {
+		b, okB := baseResult.Chosen.Estimates.Get(ind)
+		v, okV := variantResult.Chosen.Estimates.Get(ind)
+		if okB && okV {
+			report.Deltas[ind] = v - b
+		}
+	}
+	baseServices := map[string]bool{}
+	for _, id := range baseResult.Chosen.Composition.ServiceIDs() {
+		baseServices[id] = true
+	}
+	variantServices := map[string]bool{}
+	for _, id := range variantResult.Chosen.Composition.ServiceIDs() {
+		variantServices[id] = true
+	}
+	for id := range baseServices {
+		if !variantServices[id] {
+			report.ChangedServices = append(report.ChangedServices, "-"+id)
+		}
+	}
+	for id := range variantServices {
+		if !baseServices[id] {
+			report.ChangedServices = append(report.ChangedServices, "+"+id)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,216 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// AggKind enumerates the supported aggregation functions.
+type AggKind int
+
+const (
+	// AggCount counts rows in the group.
+	AggCount AggKind = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggAvg averages a numeric column.
+	AggAvg
+	// AggMin takes the minimum of a column.
+	AggMin
+	// AggMax takes the maximum of a column.
+	AggMax
+	// AggCountDistinct counts distinct values of a column.
+	AggCountDistinct
+	// AggStdDev computes the population standard deviation of a column.
+	AggStdDev
+)
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCountDistinct:
+		return "count_distinct"
+	case AggStdDev:
+		return "stddev"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// Aggregation describes one aggregate computed per group.
+type Aggregation struct {
+	// Kind selects the aggregation function.
+	Kind AggKind
+	// Column is the input column; ignored for AggCount.
+	Column string
+	// As optionally overrides the output column name.
+	As string
+}
+
+// Convenience constructors.
+
+// Count counts rows per group.
+func Count() Aggregation { return Aggregation{Kind: AggCount, As: "count"} }
+
+// Sum sums col per group.
+func Sum(col string) Aggregation { return Aggregation{Kind: AggSum, Column: col} }
+
+// Avg averages col per group.
+func Avg(col string) Aggregation { return Aggregation{Kind: AggAvg, Column: col} }
+
+// Min takes the per-group minimum of col.
+func Min(col string) Aggregation { return Aggregation{Kind: AggMin, Column: col} }
+
+// Max takes the per-group maximum of col.
+func Max(col string) Aggregation { return Aggregation{Kind: AggMax, Column: col} }
+
+// CountDistinct counts distinct values of col per group.
+func CountDistinct(col string) Aggregation { return Aggregation{Kind: AggCountDistinct, Column: col} }
+
+// StdDev computes the per-group population standard deviation of col.
+func StdDev(col string) Aggregation { return Aggregation{Kind: AggStdDev, Column: col} }
+
+// Named renames the output column.
+func (a Aggregation) Named(name string) Aggregation {
+	a.As = name
+	return a
+}
+
+// OutputName returns the name of the produced column.
+func (a Aggregation) OutputName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Kind == AggCount {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%s", a.Kind, a.Column)
+}
+
+func (a Aggregation) validate(in *storage.Schema) error {
+	if a.Kind == AggCount {
+		return nil
+	}
+	if a.Column == "" {
+		return fmt.Errorf("%w: aggregation %s requires a column", ErrBadPlan, a.Kind)
+	}
+	if !in.Has(a.Column) {
+		return fmt.Errorf("%w: aggregation column %q", storage.ErrUnknownField, a.Column)
+	}
+	return nil
+}
+
+func (a Aggregation) outputType(in *storage.Schema) storage.FieldType {
+	switch a.Kind {
+	case AggCount, AggCountDistinct:
+		return storage.TypeInt
+	case AggSum, AggAvg, AggStdDev:
+		return storage.TypeFloat
+	case AggMin, AggMax:
+		f, err := in.FieldByName(a.Column)
+		if err != nil {
+			return storage.TypeFloat
+		}
+		return f.Type
+	default:
+		return storage.TypeFloat
+	}
+}
+
+// aggState accumulates one aggregation over one group.
+type aggState struct {
+	spec     Aggregation
+	colIdx   int
+	count    int64
+	sum      float64
+	sumSq    float64
+	min      storage.Value
+	max      storage.Value
+	distinct map[string]struct{}
+}
+
+func newAggState(spec Aggregation, in *storage.Schema) *aggState {
+	st := &aggState{spec: spec, colIdx: -1}
+	if spec.Column != "" {
+		st.colIdx = in.IndexOf(spec.Column)
+	}
+	if spec.Kind == AggCountDistinct {
+		st.distinct = make(map[string]struct{})
+	}
+	return st
+}
+
+func (st *aggState) update(row storage.Row) {
+	if st.spec.Kind == AggCount {
+		st.count++
+		return
+	}
+	if st.colIdx < 0 || st.colIdx >= len(row) {
+		return
+	}
+	v := row[st.colIdx]
+	if v == nil {
+		return
+	}
+	st.count++
+	switch st.spec.Kind {
+	case AggSum, AggAvg, AggStdDev:
+		f, _ := storage.AsFloat(v)
+		st.sum += f
+		st.sumSq += f * f
+	case AggMin:
+		if st.min == nil || storage.CompareValues(v, st.min) < 0 {
+			st.min = v
+		}
+	case AggMax:
+		if st.max == nil || storage.CompareValues(v, st.max) > 0 {
+			st.max = v
+		}
+	case AggCountDistinct:
+		st.distinct[storage.AsString(v)] = struct{}{}
+	}
+}
+
+func (st *aggState) result() storage.Value {
+	switch st.spec.Kind {
+	case AggCount:
+		return st.count
+	case AggSum:
+		return st.sum
+	case AggAvg:
+		if st.count == 0 {
+			return nil
+		}
+		return st.sum / float64(st.count)
+	case AggStdDev:
+		if st.count == 0 {
+			return nil
+		}
+		mean := st.sum / float64(st.count)
+		variance := st.sumSq/float64(st.count) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return math.Sqrt(variance)
+	case AggMin:
+		return st.min
+	case AggMax:
+		return st.max
+	case AggCountDistinct:
+		return int64(len(st.distinct))
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,607 @@
+// Package dataflow implements the Big Data pipeline execution substrate of
+// the reproduction: a partitioned, lazily evaluated dataset abstraction
+// (comparable to a narrow subset of Spark's DataFrame API) together with an
+// engine that compiles logical plans into parallel tasks executed on the
+// simulated cluster.
+//
+// A Dataset is an immutable logical plan. Transformations (Filter, Map,
+// GroupBy, Join, …) build a new plan; nothing executes until an Engine action
+// (Collect, Count) is called. Narrow transformations run one task per
+// partition; wide transformations (group-by, join, distinct, sort) introduce a
+// shuffle boundary that re-partitions intermediate data by key.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Errors reported while building or executing plans.
+var (
+	ErrNoSource     = errors.New("dataflow: dataset has no source")
+	ErrBadPlan      = errors.New("dataflow: invalid plan")
+	ErrUDF          = errors.New("dataflow: user function failed")
+	ErrIncompatible = errors.New("dataflow: incompatible schemas")
+)
+
+// Record gives user functions named access to the current row.
+type Record struct {
+	schema *storage.Schema
+	row    storage.Row
+}
+
+// Schema returns the record's schema.
+func (r Record) Schema() *storage.Schema { return r.schema }
+
+// Row returns the underlying row; callers must not mutate it.
+func (r Record) Row() storage.Row { return r.row }
+
+// Value returns the raw value of the named column (nil when the column is
+// absent or null).
+func (r Record) Value(name string) storage.Value {
+	i := r.schema.IndexOf(name)
+	if i < 0 || i >= len(r.row) {
+		return nil
+	}
+	return r.row[i]
+}
+
+// String returns the named column as a string ("" when null/absent).
+func (r Record) String(name string) string { return storage.AsString(r.Value(name)) }
+
+// Int returns the named column as an int64 (0 when null or not convertible).
+func (r Record) Int(name string) int64 {
+	v, _ := storage.AsInt(r.Value(name))
+	return v
+}
+
+// Float returns the named column as a float64 (0 when null or not convertible).
+func (r Record) Float(name string) float64 {
+	v, _ := storage.AsFloat(r.Value(name))
+	return v
+}
+
+// Bool returns the named column as a bool (false when null or not convertible).
+func (r Record) Bool(name string) bool {
+	v, _ := storage.AsBool(r.Value(name))
+	return v
+}
+
+// IsNull reports whether the named column is null or absent.
+func (r Record) IsNull(name string) bool { return r.Value(name) == nil }
+
+// User function signatures.
+type (
+	// FilterFunc decides whether a record is kept.
+	FilterFunc func(Record) (bool, error)
+	// MapFunc transforms a record into a new row matching the declared
+	// output schema.
+	MapFunc func(Record) (storage.Row, error)
+	// FlatMapFunc transforms a record into zero or more output rows.
+	FlatMapFunc func(Record) ([]storage.Row, error)
+	// ColumnFunc computes the value of a derived column.
+	ColumnFunc func(Record) (storage.Value, error)
+)
+
+// JoinType selects the join semantics.
+type JoinType int
+
+const (
+	// InnerJoin keeps only matching pairs.
+	InnerJoin JoinType = iota
+	// LeftJoin keeps every left row, null-extending when unmatched.
+	LeftJoin
+)
+
+// String implements fmt.Stringer.
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "inner"
+	case LeftJoin:
+		return "left"
+	default:
+		return fmt.Sprintf("join(%d)", int(j))
+	}
+}
+
+// planNode is a node of the logical plan tree.
+type planNode interface {
+	// Schema of the rows this node produces.
+	schema() *storage.Schema
+	// children of this node (empty for sources).
+	children() []planNode
+	// label describes the node for plan explanations.
+	label() string
+}
+
+// Dataset is an immutable logical plan. The zero value is invalid; obtain
+// datasets from FromTable/FromRows and transformations.
+type Dataset struct {
+	node planNode
+	err  error
+}
+
+// Err returns the first error recorded while building this plan, if any.
+// Engines refuse to execute plans with a non-nil Err.
+func (d *Dataset) Err() error {
+	if d == nil {
+		return ErrNoSource
+	}
+	return d.err
+}
+
+// Schema returns the output schema of the plan (nil when the plan is invalid).
+func (d *Dataset) Schema() *storage.Schema {
+	if d == nil || d.err != nil || d.node == nil {
+		return nil
+	}
+	return d.node.schema()
+}
+
+// Explain renders the logical plan as an indented tree, one node per line.
+func (d *Dataset) Explain() string {
+	if d == nil || d.node == nil {
+		return "<invalid plan>"
+	}
+	if d.err != nil {
+		return fmt.Sprintf("<invalid plan: %v>", d.err)
+	}
+	var out string
+	var walk func(n planNode, depth int)
+	walk = func(n planNode, depth int) {
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		out += n.label() + "\n"
+		for _, c := range n.children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(d.node, 0)
+	return out
+}
+
+func failed(err error) *Dataset { return &Dataset{err: err} }
+
+func (d *Dataset) invalid() (*Dataset, bool) {
+	if d == nil {
+		return failed(ErrNoSource), true
+	}
+	if d.err != nil {
+		return d, true
+	}
+	if d.node == nil {
+		return failed(ErrNoSource), true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+type sourceNode struct {
+	name       string
+	sch        *storage.Schema
+	partitions [][]storage.Row
+}
+
+func (s *sourceNode) schema() *storage.Schema { return s.sch }
+func (s *sourceNode) children() []planNode    { return nil }
+func (s *sourceNode) label() string {
+	rows := 0
+	for _, p := range s.partitions {
+		rows += len(p)
+	}
+	return fmt.Sprintf("Source(%s, partitions=%d, rows=%d)", s.name, len(s.partitions), rows)
+}
+
+// FromTable creates a dataset reading the table's current contents. The table
+// is snapshotted partition by partition: later table mutations do not affect
+// the plan.
+func FromTable(t *storage.Table) *Dataset {
+	if t == nil {
+		return failed(fmt.Errorf("%w: nil table", ErrNoSource))
+	}
+	parts := make([][]storage.Row, t.Partitions())
+	for p := 0; p < t.Partitions(); p++ {
+		rows, err := t.Partition(p)
+		if err != nil {
+			return failed(err)
+		}
+		parts[p] = append([]storage.Row(nil), rows...)
+	}
+	return &Dataset{node: &sourceNode{name: t.Name(), sch: t.Schema(), partitions: parts}}
+}
+
+// FromRows creates a dataset over in-memory rows split into the given number
+// of partitions (minimum 1). Rows are validated against the schema.
+func FromRows(name string, schema *storage.Schema, rows []storage.Row, partitions int) *Dataset {
+	if schema == nil {
+		return failed(fmt.Errorf("%w: nil schema", ErrNoSource))
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	for i, r := range rows {
+		if err := storage.ValidateRow(schema, r); err != nil {
+			return failed(fmt.Errorf("dataflow: FromRows row %d: %w", i, err))
+		}
+	}
+	parts := make([][]storage.Row, partitions)
+	for i, r := range rows {
+		p := i % partitions
+		parts[p] = append(parts[p], r)
+	}
+	return &Dataset{node: &sourceNode{name: name, sch: schema, partitions: parts}}
+}
+
+// ---------------------------------------------------------------------------
+// Narrow transformations
+// ---------------------------------------------------------------------------
+
+type filterNode struct {
+	child planNode
+	fn    FilterFunc
+	desc  string
+}
+
+func (n *filterNode) schema() *storage.Schema { return n.child.schema() }
+func (n *filterNode) children() []planNode    { return []planNode{n.child} }
+func (n *filterNode) label() string           { return "Filter(" + n.desc + ")" }
+
+// Filter keeps the records for which fn returns true. desc is a human-readable
+// description used in plan explanations.
+func (d *Dataset) Filter(desc string, fn FilterFunc) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if fn == nil {
+		return failed(fmt.Errorf("%w: nil filter function", ErrBadPlan))
+	}
+	return &Dataset{node: &filterNode{child: d.node, fn: fn, desc: desc}}
+}
+
+type mapNode struct {
+	child planNode
+	out   *storage.Schema
+	fn    MapFunc
+	desc  string
+}
+
+func (n *mapNode) schema() *storage.Schema { return n.out }
+func (n *mapNode) children() []planNode    { return []planNode{n.child} }
+func (n *mapNode) label() string           { return "Map(" + n.desc + ")" }
+
+// Map transforms every record into a row of the given output schema.
+func (d *Dataset) Map(desc string, out *storage.Schema, fn MapFunc) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if out == nil || fn == nil {
+		return failed(fmt.Errorf("%w: Map requires an output schema and a function", ErrBadPlan))
+	}
+	return &Dataset{node: &mapNode{child: d.node, out: out, fn: fn, desc: desc}}
+}
+
+type flatMapNode struct {
+	child planNode
+	out   *storage.Schema
+	fn    FlatMapFunc
+	desc  string
+}
+
+func (n *flatMapNode) schema() *storage.Schema { return n.out }
+func (n *flatMapNode) children() []planNode    { return []planNode{n.child} }
+func (n *flatMapNode) label() string           { return "FlatMap(" + n.desc + ")" }
+
+// FlatMap transforms every record into zero or more rows of the output schema.
+func (d *Dataset) FlatMap(desc string, out *storage.Schema, fn FlatMapFunc) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if out == nil || fn == nil {
+		return failed(fmt.Errorf("%w: FlatMap requires an output schema and a function", ErrBadPlan))
+	}
+	return &Dataset{node: &flatMapNode{child: d.node, out: out, fn: fn, desc: desc}}
+}
+
+// Project keeps only the named columns, in the given order.
+func (d *Dataset) Project(cols ...string) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	out, err := d.node.schema().Project(cols...)
+	if err != nil {
+		return failed(fmt.Errorf("dataflow: Project: %w", err))
+	}
+	indices := make([]int, len(cols))
+	for i, c := range cols {
+		indices[i] = d.node.schema().IndexOf(c)
+	}
+	fn := func(rec Record) (storage.Row, error) {
+		row := make(storage.Row, len(indices))
+		for i, idx := range indices {
+			row[i] = rec.row[idx]
+		}
+		return row, nil
+	}
+	return &Dataset{node: &mapNode{child: d.node, out: out, fn: fn, desc: fmt.Sprintf("project %v", cols)}}
+}
+
+// WithColumn appends a derived column computed by fn.
+func (d *Dataset) WithColumn(field storage.Field, fn ColumnFunc) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if fn == nil {
+		return failed(fmt.Errorf("%w: nil column function", ErrBadPlan))
+	}
+	out, err := d.node.schema().Append(field)
+	if err != nil {
+		return failed(fmt.Errorf("dataflow: WithColumn: %w", err))
+	}
+	mf := func(rec Record) (storage.Row, error) {
+		v, err := fn(rec)
+		if err != nil {
+			return nil, err
+		}
+		row := make(storage.Row, len(rec.row)+1)
+		copy(row, rec.row)
+		row[len(rec.row)] = v
+		return row, nil
+	}
+	return &Dataset{node: &mapNode{child: d.node, out: out, fn: mf, desc: "with_column " + field.Name}}
+}
+
+type sampleNode struct {
+	child    planNode
+	fraction float64
+	seed     int64
+}
+
+func (n *sampleNode) schema() *storage.Schema { return n.child.schema() }
+func (n *sampleNode) children() []planNode    { return []planNode{n.child} }
+func (n *sampleNode) label() string           { return fmt.Sprintf("Sample(fraction=%.3f)", n.fraction) }
+
+// Sample keeps approximately fraction of the records, chosen pseudo-randomly
+// with the given seed.
+func (d *Dataset) Sample(fraction float64, seed int64) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if fraction < 0 || fraction > 1 {
+		return failed(fmt.Errorf("%w: sample fraction %v out of [0,1]", ErrBadPlan, fraction))
+	}
+	return &Dataset{node: &sampleNode{child: d.node, fraction: fraction, seed: seed}}
+}
+
+type unionNode struct {
+	left, right planNode
+}
+
+func (n *unionNode) schema() *storage.Schema { return n.left.schema() }
+func (n *unionNode) children() []planNode    { return []planNode{n.left, n.right} }
+func (n *unionNode) label() string           { return "Union" }
+
+// Union concatenates two datasets with equal schemas.
+func (d *Dataset) Union(other *Dataset) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if bad, ok := other.invalid(); ok {
+		return bad
+	}
+	if !d.node.schema().Equal(other.node.schema()) {
+		return failed(fmt.Errorf("%w: union of %s and %s", ErrIncompatible, d.node.schema(), other.node.schema()))
+	}
+	return &Dataset{node: &unionNode{left: d.node, right: other.node}}
+}
+
+type limitNode struct {
+	child planNode
+	n     int
+}
+
+func (n *limitNode) schema() *storage.Schema { return n.child.schema() }
+func (n *limitNode) children() []planNode    { return []planNode{n.child} }
+func (n *limitNode) label() string           { return fmt.Sprintf("Limit(%d)", n.n) }
+
+// Limit keeps at most n records (taken in partition order).
+func (d *Dataset) Limit(n int) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if n < 0 {
+		return failed(fmt.Errorf("%w: negative limit", ErrBadPlan))
+	}
+	return &Dataset{node: &limitNode{child: d.node, n: n}}
+}
+
+// ---------------------------------------------------------------------------
+// Wide transformations
+// ---------------------------------------------------------------------------
+
+type distinctNode struct {
+	child planNode
+	cols  []string
+}
+
+func (n *distinctNode) schema() *storage.Schema { return n.child.schema() }
+func (n *distinctNode) children() []planNode    { return []planNode{n.child} }
+func (n *distinctNode) label() string           { return fmt.Sprintf("Distinct(%v)", n.cols) }
+
+// Distinct removes duplicate rows. When cols are given, uniqueness is decided
+// on those columns only (the first occurrence wins).
+func (d *Dataset) Distinct(cols ...string) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	for _, c := range cols {
+		if !d.node.schema().Has(c) {
+			return failed(fmt.Errorf("%w: distinct column %q", storage.ErrUnknownField, c))
+		}
+	}
+	return &Dataset{node: &distinctNode{child: d.node, cols: cols}}
+}
+
+// SortOrder pairs a column with a direction.
+type SortOrder struct {
+	Column     string
+	Descending bool
+}
+
+type sortNode struct {
+	child  planNode
+	orders []SortOrder
+}
+
+func (n *sortNode) schema() *storage.Schema { return n.child.schema() }
+func (n *sortNode) children() []planNode    { return []planNode{n.child} }
+func (n *sortNode) label() string           { return fmt.Sprintf("Sort(%v)", n.orders) }
+
+// Sort orders records by the given columns. Sorting is a global operation and
+// produces a single output partition.
+func (d *Dataset) Sort(orders ...SortOrder) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if len(orders) == 0 {
+		return failed(fmt.Errorf("%w: Sort requires at least one order", ErrBadPlan))
+	}
+	for _, o := range orders {
+		if !d.node.schema().Has(o.Column) {
+			return failed(fmt.Errorf("%w: sort column %q", storage.ErrUnknownField, o.Column))
+		}
+	}
+	return &Dataset{node: &sortNode{child: d.node, orders: orders}}
+}
+
+type joinNode struct {
+	left, right        planNode
+	leftKey, rightKey  string
+	kind               JoinType
+	out                *storage.Schema
+	rightPrefixedNames []string
+}
+
+func (n *joinNode) schema() *storage.Schema { return n.out }
+func (n *joinNode) children() []planNode    { return []planNode{n.left, n.right} }
+func (n *joinNode) label() string {
+	return fmt.Sprintf("Join(%s, %s=%s)", n.kind, n.leftKey, n.rightKey)
+}
+
+// Join performs a hash equi-join between d (left) and other (right) on
+// leftKey = rightKey. The output schema contains every left column followed by
+// every right column; right columns whose names collide with a left column are
+// prefixed with "right_".
+func (d *Dataset) Join(other *Dataset, leftKey, rightKey string, kind JoinType) *Dataset {
+	if bad, ok := d.invalid(); ok {
+		return bad
+	}
+	if bad, ok := other.invalid(); ok {
+		return bad
+	}
+	ls, rs := d.node.schema(), other.node.schema()
+	if !ls.Has(leftKey) {
+		return failed(fmt.Errorf("%w: join key %q (left)", storage.ErrUnknownField, leftKey))
+	}
+	if !rs.Has(rightKey) {
+		return failed(fmt.Errorf("%w: join key %q (right)", storage.ErrUnknownField, rightKey))
+	}
+	if kind != InnerJoin && kind != LeftJoin {
+		return failed(fmt.Errorf("%w: unsupported join type %v", ErrBadPlan, kind))
+	}
+	fields := ls.Fields()
+	var rightNames []string
+	for _, f := range rs.Fields() {
+		name := f.Name
+		if ls.Has(name) {
+			name = "right_" + name
+		}
+		rightNames = append(rightNames, name)
+		nf := f
+		nf.Name = name
+		nf.Nullable = nf.Nullable || kind == LeftJoin
+		fields = append(fields, nf)
+	}
+	out, err := storage.NewSchema(fields...)
+	if err != nil {
+		return failed(fmt.Errorf("dataflow: join schema: %w", err))
+	}
+	return &Dataset{node: &joinNode{
+		left: d.node, right: other.node,
+		leftKey: leftKey, rightKey: rightKey,
+		kind: kind, out: out, rightPrefixedNames: rightNames,
+	}}
+}
+
+// GroupedDataset is the intermediate result of GroupBy, awaiting aggregations.
+type GroupedDataset struct {
+	parent *Dataset
+	keys   []string
+	err    error
+}
+
+// GroupBy groups records by the given key columns.
+func (d *Dataset) GroupBy(keys ...string) *GroupedDataset {
+	if bad, ok := d.invalid(); ok {
+		return &GroupedDataset{err: bad.err}
+	}
+	if len(keys) == 0 {
+		return &GroupedDataset{err: fmt.Errorf("%w: GroupBy requires at least one key", ErrBadPlan)}
+	}
+	for _, k := range keys {
+		if !d.node.schema().Has(k) {
+			return &GroupedDataset{err: fmt.Errorf("%w: group key %q", storage.ErrUnknownField, k)}
+		}
+	}
+	return &GroupedDataset{parent: d, keys: keys}
+}
+
+type groupByNode struct {
+	child planNode
+	keys  []string
+	aggs  []Aggregation
+	out   *storage.Schema
+}
+
+func (n *groupByNode) schema() *storage.Schema { return n.out }
+func (n *groupByNode) children() []planNode    { return []planNode{n.child} }
+func (n *groupByNode) label() string {
+	return fmt.Sprintf("GroupBy(keys=%v, aggs=%d)", n.keys, len(n.aggs))
+}
+
+// Agg applies the given aggregations to each group. The output schema is the
+// key columns followed by one column per aggregation.
+func (g *GroupedDataset) Agg(aggs ...Aggregation) *Dataset {
+	if g.err != nil {
+		return failed(g.err)
+	}
+	if len(aggs) == 0 {
+		return failed(fmt.Errorf("%w: Agg requires at least one aggregation", ErrBadPlan))
+	}
+	in := g.parent.node.schema()
+	fields := make([]storage.Field, 0, len(g.keys)+len(aggs))
+	for _, k := range g.keys {
+		f, err := in.FieldByName(k)
+		if err != nil {
+			return failed(err)
+		}
+		fields = append(fields, f)
+	}
+	for _, a := range aggs {
+		if err := a.validate(in); err != nil {
+			return failed(err)
+		}
+		fields = append(fields, storage.Field{Name: a.OutputName(), Type: a.outputType(in), Nullable: true})
+	}
+	out, err := storage.NewSchema(fields...)
+	if err != nil {
+		return failed(fmt.Errorf("dataflow: aggregation schema: %w", err))
+	}
+	return &Dataset{node: &groupByNode{child: g.parent.node, keys: g.keys, aggs: aggs, out: out}}
+}

@@ -1,0 +1,263 @@
+package dataflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func salesSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.Field{Name: "id", Type: storage.TypeInt},
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "amount", Type: storage.TypeFloat},
+		storage.Field{Name: "priority", Type: storage.TypeBool, Nullable: true},
+	)
+}
+
+func salesRows() []storage.Row {
+	return []storage.Row{
+		{int64(1), "north", 10.0, true},
+		{int64(2), "south", 20.0, false},
+		{int64(3), "north", 30.0, nil},
+		{int64(4), "east", 40.0, true},
+		{int64(5), "south", 50.0, false},
+		{int64(6), "north", 60.0, true},
+	}
+}
+
+func salesDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := FromRows("sales", salesSchema(), salesRows(), 3)
+	if d.Err() != nil {
+		t.Fatalf("FromRows: %v", d.Err())
+	}
+	return d
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if err := FromRows("x", nil, nil, 1).Err(); !errors.Is(err, ErrNoSource) {
+		t.Errorf("nil schema err = %v, want ErrNoSource", err)
+	}
+	bad := []storage.Row{{"wrong", "north", 1.0, nil}}
+	if err := FromRows("x", salesSchema(), bad, 1).Err(); err == nil {
+		t.Error("invalid rows must be rejected")
+	}
+	// Negative partition counts are clamped to 1.
+	d := FromRows("x", salesSchema(), salesRows(), -3)
+	if d.Err() != nil {
+		t.Errorf("negative partitions should clamp, got %v", d.Err())
+	}
+}
+
+func TestFromTableSnapshot(t *testing.T) {
+	tbl, err := storage.NewTable("sales", salesSchema(), storage.WithPartitions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.AppendAll(salesRows()); err != nil {
+		t.Fatal(err)
+	}
+	d := FromTable(tbl)
+	if d.Err() != nil {
+		t.Fatalf("FromTable: %v", d.Err())
+	}
+	// Mutating the table after the snapshot must not change the plan source.
+	if err := tbl.Append(storage.Row{int64(7), "west", 70.0, nil}); err != nil {
+		t.Fatal(err)
+	}
+	src := d.node.(*sourceNode)
+	total := 0
+	for _, p := range src.partitions {
+		total += len(p)
+	}
+	if total != 6 {
+		t.Errorf("snapshot rows = %d, want 6", total)
+	}
+	if FromTable(nil).Err() == nil {
+		t.Error("FromTable(nil) must be invalid")
+	}
+}
+
+func TestRecordAccessors(t *testing.T) {
+	rec := Record{schema: salesSchema(), row: salesRows()[0]}
+	if rec.Int("id") != 1 || rec.String("region") != "north" || rec.Float("amount") != 10.0 || !rec.Bool("priority") {
+		t.Errorf("record accessors misbehave: %+v", rec)
+	}
+	if rec.Value("missing") != nil || !rec.IsNull("missing") {
+		t.Error("missing column must read as null")
+	}
+	if rec.IsNull("id") {
+		t.Error("id must not be null")
+	}
+	if rec.Schema() != rec.schema || len(rec.Row()) != 4 {
+		t.Error("Schema/Row accessors misbehave")
+	}
+}
+
+func TestErrorPropagationThroughBuilder(t *testing.T) {
+	d := FromTable(nil) // invalid source
+	chained := d.Filter("x", func(Record) (bool, error) { return true, nil }).
+		Project("id").
+		Limit(3)
+	if chained.Err() == nil {
+		t.Error("builder must propagate the original error")
+	}
+	if chained.Schema() != nil {
+		t.Error("invalid plan must have nil schema")
+	}
+	if !strings.Contains(chained.Explain(), "invalid") {
+		t.Errorf("Explain of invalid plan = %q", chained.Explain())
+	}
+	var nilDS *Dataset
+	if nilDS.Err() == nil {
+		t.Error("nil dataset must report an error")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	d := salesDataset(t)
+	if d.Filter("nil", nil).Err() == nil {
+		t.Error("nil filter fn must fail")
+	}
+	if d.Map("nil", nil, nil).Err() == nil {
+		t.Error("nil map schema/fn must fail")
+	}
+	if d.FlatMap("nil", nil, nil).Err() == nil {
+		t.Error("nil flatmap schema/fn must fail")
+	}
+	if d.Project("ghost").Err() == nil {
+		t.Error("projecting unknown column must fail")
+	}
+	if d.WithColumn(storage.Field{Name: "id", Type: storage.TypeInt}, func(Record) (storage.Value, error) { return nil, nil }).Err() == nil {
+		t.Error("duplicate derived column name must fail")
+	}
+	if d.WithColumn(storage.Field{Name: "y", Type: storage.TypeInt}, nil).Err() == nil {
+		t.Error("nil column fn must fail")
+	}
+	if d.Sample(1.5, 1).Err() == nil {
+		t.Error("sample fraction > 1 must fail")
+	}
+	if d.Limit(-1).Err() == nil {
+		t.Error("negative limit must fail")
+	}
+	if d.Distinct("ghost").Err() == nil {
+		t.Error("distinct on unknown column must fail")
+	}
+	if d.Sort().Err() == nil {
+		t.Error("sort without orders must fail")
+	}
+	if d.Sort(SortOrder{Column: "ghost"}).Err() == nil {
+		t.Error("sort on unknown column must fail")
+	}
+	if d.GroupBy().Agg(Count()).Err() == nil {
+		t.Error("group by without keys must fail")
+	}
+	if d.GroupBy("ghost").Agg(Count()).Err() == nil {
+		t.Error("group by unknown key must fail")
+	}
+	if d.GroupBy("region").Agg().Err() == nil {
+		t.Error("agg without aggregations must fail")
+	}
+	if d.GroupBy("region").Agg(Sum("ghost")).Err() == nil {
+		t.Error("aggregating unknown column must fail")
+	}
+	if d.GroupBy("region").Agg(Aggregation{Kind: AggSum}).Err() == nil {
+		t.Error("aggregation without column must fail")
+	}
+	other := FromRows("other", storage.MustSchema(storage.Field{Name: "x", Type: storage.TypeInt}), nil, 1)
+	if d.Union(other).Err() == nil {
+		t.Error("union of incompatible schemas must fail")
+	}
+	if d.Join(other, "ghost", "x", InnerJoin).Err() == nil {
+		t.Error("join on unknown left key must fail")
+	}
+	if d.Join(other, "id", "ghost", InnerJoin).Err() == nil {
+		t.Error("join on unknown right key must fail")
+	}
+	if d.Join(other, "id", "x", JoinType(99)).Err() == nil {
+		t.Error("unsupported join type must fail")
+	}
+}
+
+func TestJoinSchemaPrefixesCollidingColumns(t *testing.T) {
+	left := salesDataset(t)
+	right := FromRows("regions", storage.MustSchema(
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "manager", Type: storage.TypeString},
+	), []storage.Row{{"north", "anna"}}, 1)
+	j := left.Join(right, "region", "region", InnerJoin)
+	if j.Err() != nil {
+		t.Fatalf("join: %v", j.Err())
+	}
+	s := j.Schema()
+	if !s.Has("right_region") || !s.Has("manager") {
+		t.Errorf("join schema = %v", s.Names())
+	}
+}
+
+func TestExplain(t *testing.T) {
+	d := salesDataset(t).
+		Filter("amount > 15", func(r Record) (bool, error) { return r.Float("amount") > 15, nil }).
+		GroupBy("region").Agg(Count(), Sum("amount"))
+	plan := d.Explain()
+	for _, want := range []string{"GroupBy", "Filter", "Source(sales"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("Explain missing %q:\n%s", want, plan)
+		}
+	}
+	var empty *Dataset
+	if empty.Explain() != "<invalid plan>" {
+		t.Errorf("nil Explain = %q", empty.Explain())
+	}
+}
+
+func TestAggregationNaming(t *testing.T) {
+	if Count().OutputName() != "count" {
+		t.Errorf("Count output = %q", Count().OutputName())
+	}
+	if Sum("amount").OutputName() != "sum_amount" {
+		t.Errorf("Sum output = %q", Sum("amount").OutputName())
+	}
+	if Avg("x").Named("mean_x").OutputName() != "mean_x" {
+		t.Errorf("Named output = %q", Avg("x").Named("mean_x").OutputName())
+	}
+	kinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax, AggCountDistinct, AggStdDev}
+	for _, k := range kinds {
+		if k.String() == "" || strings.HasPrefix(k.String(), "agg(") {
+			t.Errorf("AggKind(%d).String() = %q", k, k.String())
+		}
+	}
+	if JoinType(42).String() == "" || InnerJoin.String() != "inner" || LeftJoin.String() != "left" {
+		t.Error("JoinType.String misbehaves")
+	}
+}
+
+func TestGroupByOutputSchema(t *testing.T) {
+	d := salesDataset(t).GroupBy("region").Agg(Count(), Avg("amount"), Min("id"), CountDistinct("priority"))
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	s := d.Schema()
+	want := []string{"region", "count", "avg_amount", "min_id", "count_distinct_priority"}
+	got := s.Names()
+	if len(got) != len(want) {
+		t.Fatalf("schema = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("schema[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if f, _ := s.FieldByName("count"); f.Type != storage.TypeInt {
+		t.Error("count must be int")
+	}
+	if f, _ := s.FieldByName("avg_amount"); f.Type != storage.TypeFloat {
+		t.Error("avg must be float")
+	}
+	if f, _ := s.FieldByName("min_id"); f.Type != storage.TypeInt {
+		t.Error("min of int column must be int")
+	}
+}

@@ -1,0 +1,538 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Engine compiles logical plans into tasks and executes them on a simulated
+// cluster. An Engine is safe for concurrent use.
+type Engine struct {
+	cluster           *cluster.Cluster
+	reg               *metrics.Registry
+	shufflePartitions int
+}
+
+// EngineOption configures engine construction.
+type EngineOption func(*Engine)
+
+// WithShufflePartitions sets the number of partitions produced by wide
+// transformations (group-by, join, distinct). The default is the cluster's
+// total slot count.
+func WithShufflePartitions(n int) EngineOption {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.shufflePartitions = n
+		}
+	}
+}
+
+// NewEngine returns an engine bound to the given cluster.
+func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("dataflow: engine requires a cluster")
+	}
+	e := &Engine{
+		cluster:           c,
+		reg:               metrics.NewRegistry(),
+		shufflePartitions: c.TotalSlots(),
+	}
+	if e.shufflePartitions < 1 {
+		e.shufflePartitions = 1
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Metrics exposes the engine's metric registry (rows read, shuffled, tasks…).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Stats summarises the execution of a single action.
+type Stats struct {
+	// RowsRead is the number of source rows scanned.
+	RowsRead int64
+	// RowsOutput is the number of rows in the action result.
+	RowsOutput int64
+	// ShuffledRows is the number of rows moved across shuffle boundaries.
+	ShuffledRows int64
+	// Tasks is the number of cluster tasks executed.
+	Tasks int64
+	// Stages is the number of shuffle stages (wide transformations) executed.
+	Stages int64
+	// WallTime is the end-to-end execution time of the action.
+	WallTime time.Duration
+}
+
+// Result is the materialised output of Collect.
+type Result struct {
+	Schema *storage.Schema
+	Rows   []storage.Row
+	Stats  Stats
+}
+
+// Table converts the result into a named storage table.
+func (r *Result) Table(name string, opts ...storage.TableOption) (*storage.Table, error) {
+	t, err := storage.NewTable(name, r.Schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.AppendAll(r.Rows); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Records wraps each result row for named access.
+func (r *Result) Records() []Record {
+	out := make([]Record, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = Record{schema: r.Schema, row: row}
+	}
+	return out
+}
+
+// execState carries mutable counters through one action execution.
+type execState struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (s *execState) addRead(n int)     { s.mu.Lock(); s.stats.RowsRead += int64(n); s.mu.Unlock() }
+func (s *execState) addShuffled(n int) { s.mu.Lock(); s.stats.ShuffledRows += int64(n); s.mu.Unlock() }
+func (s *execState) addTasks(n int)    { s.mu.Lock(); s.stats.Tasks += int64(n); s.mu.Unlock() }
+func (s *execState) addStage()         { s.mu.Lock(); s.stats.Stages++; s.mu.Unlock() }
+
+// Collect executes the plan and materialises every output row.
+func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
+	if d == nil {
+		return nil, ErrNoSource
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st := &execState{}
+	parts, err := e.eval(ctx, d.node, st)
+	if err != nil {
+		return nil, err
+	}
+	var rows []storage.Row
+	for _, p := range parts {
+		rows = append(rows, p...)
+	}
+	st.stats.RowsOutput = int64(len(rows))
+	st.stats.WallTime = time.Since(start)
+
+	e.reg.Counter("actions").Inc()
+	e.reg.Counter("rows.read").Add(st.stats.RowsRead)
+	e.reg.Counter("rows.output").Add(st.stats.RowsOutput)
+	e.reg.Counter("rows.shuffled").Add(st.stats.ShuffledRows)
+	e.reg.Counter("tasks").Add(st.stats.Tasks)
+	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
+
+	return &Result{Schema: d.Schema(), Rows: rows, Stats: st.stats}, nil
+}
+
+// Count executes the plan and returns the number of output rows without
+// retaining them.
+func (e *Engine) Count(ctx context.Context, d *Dataset) (int64, error) {
+	res, err := e.Collect(ctx, d)
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.RowsOutput, nil
+}
+
+// eval recursively executes a plan node, returning partitioned rows.
+func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([][]storage.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch n := node.(type) {
+	case *sourceNode:
+		total := 0
+		for _, p := range n.partitions {
+			total += len(p)
+		}
+		st.addRead(total)
+		return n.partitions, nil
+	case *filterNode:
+		return e.evalFilter(ctx, n, st)
+	case *mapNode:
+		return e.evalMap(ctx, n, st)
+	case *flatMapNode:
+		return e.evalFlatMap(ctx, n, st)
+	case *sampleNode:
+		return e.evalSample(ctx, n, st)
+	case *unionNode:
+		left, err := e.eval(ctx, n.left, st)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(ctx, n.right, st)
+		if err != nil {
+			return nil, err
+		}
+		return append(append([][]storage.Row{}, left...), right...), nil
+	case *limitNode:
+		return e.evalLimit(ctx, n, st)
+	case *distinctNode:
+		return e.evalDistinct(ctx, n, st)
+	case *sortNode:
+		return e.evalSort(ctx, n, st)
+	case *groupByNode:
+		return e.evalGroupBy(ctx, n, st)
+	case *joinNode:
+		return e.evalJoin(ctx, n, st)
+	default:
+		return nil, fmt.Errorf("%w: unknown node %T", ErrBadPlan, node)
+	}
+}
+
+// runPerPartition executes fn once per input partition as parallel cluster
+// tasks and returns the produced partitions in input order.
+func (e *Engine) runPerPartition(ctx context.Context, name string, in [][]storage.Row, st *execState,
+	fn func(partIdx int, rows []storage.Row) ([]storage.Row, error)) ([][]storage.Row, error) {
+
+	out := make([][]storage.Row, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("%s[%d]", name, i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				rows, err := fn(i, in[i])
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrUDF, err)
+				}
+				out[i] = rows
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunJob(ctx, tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
+	}
+	return out, nil
+}
+
+func (e *Engine) evalFilter(ctx context.Context, n *filterNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.child.schema()
+	return e.runPerPartition(ctx, "filter", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		var out []storage.Row
+		for _, r := range rows {
+			keep, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	})
+}
+
+func (e *Engine) evalMap(ctx context.Context, n *mapNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.child.schema()
+	out := n.out
+	return e.runPerPartition(ctx, "map", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		res := make([]storage.Row, 0, len(rows))
+		for _, r := range rows {
+			nr, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return nil, err
+			}
+			if err := storage.ValidateRow(out, nr); err != nil {
+				return nil, fmt.Errorf("map output: %w", err)
+			}
+			res = append(res, nr)
+		}
+		return res, nil
+	})
+}
+
+func (e *Engine) evalFlatMap(ctx context.Context, n *flatMapNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.child.schema()
+	out := n.out
+	return e.runPerPartition(ctx, "flatmap", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		var res []storage.Row
+		for _, r := range rows {
+			produced, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return nil, err
+			}
+			for _, nr := range produced {
+				if err := storage.ValidateRow(out, nr); err != nil {
+					return nil, fmt.Errorf("flatmap output: %w", err)
+				}
+				res = append(res, nr)
+			}
+		}
+		return res, nil
+	})
+}
+
+func (e *Engine) evalSample(ctx context.Context, n *sampleNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	return e.runPerPartition(ctx, "sample", in, st, func(idx int, rows []storage.Row) ([]storage.Row, error) {
+		rng := rand.New(rand.NewSource(n.seed + int64(idx)))
+		var out []storage.Row
+		for _, r := range rows {
+			if rng.Float64() < n.fraction {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	})
+}
+
+func (e *Engine) evalLimit(ctx context.Context, n *limitNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Row, 0, n.n)
+	for _, p := range in {
+		for _, r := range p {
+			if len(out) >= n.n {
+				return [][]storage.Row{out}, nil
+			}
+			out = append(out, r)
+		}
+	}
+	return [][]storage.Row{out}, nil
+}
+
+// shuffle redistributes rows into e.shufflePartitions buckets using the key
+// function, counting every moved row.
+func (e *Engine) shuffle(in [][]storage.Row, key func(storage.Row) string, st *execState) [][]storage.Row {
+	st.addStage()
+	buckets := make([][]storage.Row, e.shufflePartitions)
+	moved := 0
+	for _, p := range in {
+		for _, r := range p {
+			b := storage.HashPartition(key(r), e.shufflePartitions)
+			buckets[b] = append(buckets[b], r)
+			moved++
+		}
+	}
+	st.addShuffled(moved)
+	return buckets
+}
+
+func rowKey(schema *storage.Schema, cols []string) func(storage.Row) string {
+	if len(cols) == 0 {
+		return func(r storage.Row) string {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = storage.AsString(v)
+			}
+			return strings.Join(parts, "\x1f")
+		}
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = schema.IndexOf(c)
+	}
+	return func(r storage.Row) string {
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			if j >= 0 && j < len(r) {
+				parts[i] = storage.AsString(r[j])
+			}
+		}
+		return strings.Join(parts, "\x1f")
+	}
+}
+
+func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	key := rowKey(n.child.schema(), n.cols)
+	buckets := e.shuffle(in, key, st)
+	return e.runPerPartition(ctx, "distinct", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		seen := make(map[string]struct{}, len(rows))
+		var out []storage.Row
+		for _, r := range rows {
+			k := key(r)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, r)
+		}
+		return out, nil
+	})
+}
+
+func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	st.addStage()
+	var all []storage.Row
+	for _, p := range in {
+		all = append(all, p...)
+	}
+	st.addShuffled(len(all))
+	schema := n.child.schema()
+	idx := make([]int, len(n.orders))
+	for i, o := range n.orders {
+		idx[i] = schema.IndexOf(o.Column)
+	}
+	// Global sort runs as a single task so the comparator executes on the
+	// cluster like any other work.
+	out, err := e.runPerPartition(ctx, "sort", [][]storage.Row{all}, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		sorted := append([]storage.Row(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			for k, o := range n.orders {
+				c := storage.CompareValues(sorted[a][idx[k]], sorted[b][idx[k]])
+				if c == 0 {
+					continue
+				}
+				if o.Descending {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		return sorted, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := n.child.schema()
+	key := rowKey(inSchema, n.keys)
+	buckets := e.shuffle(in, key, st)
+	keyIdx := make([]int, len(n.keys))
+	for i, k := range n.keys {
+		keyIdx[i] = inSchema.IndexOf(k)
+	}
+	return e.runPerPartition(ctx, "groupby", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		type group struct {
+			keyValues []storage.Value
+			states    []*aggState
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, r := range rows {
+			k := key(r)
+			g, ok := groups[k]
+			if !ok {
+				kv := make([]storage.Value, len(keyIdx))
+				for i, idx := range keyIdx {
+					kv[i] = r[idx]
+				}
+				states := make([]*aggState, len(n.aggs))
+				for i, a := range n.aggs {
+					states[i] = newAggState(a, inSchema)
+				}
+				g = &group{keyValues: kv, states: states}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for _, s := range g.states {
+				s.update(r)
+			}
+		}
+		out := make([]storage.Row, 0, len(groups))
+		for _, k := range order {
+			g := groups[k]
+			row := make(storage.Row, 0, len(g.keyValues)+len(g.states))
+			row = append(row, g.keyValues...)
+			for _, s := range g.states {
+				row = append(row, s.result())
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	})
+}
+
+func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]storage.Row, error) {
+	left, err := e.eval(ctx, n.left, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.eval(ctx, n.right, st)
+	if err != nil {
+		return nil, err
+	}
+	ls, rs := n.left.schema(), n.right.schema()
+	lKey := rowKey(ls, []string{n.leftKey})
+	rKey := rowKey(rs, []string{n.rightKey})
+	lBuckets := e.shuffle(left, lKey, st)
+	rBuckets := e.shuffle(right, rKey, st)
+	rightWidth := rs.Len()
+
+	return e.runPerPartition(ctx, "join", lBuckets, st, func(idx int, lRows []storage.Row) ([]storage.Row, error) {
+		// Build hash table on the right bucket with the same index.
+		build := make(map[string][]storage.Row)
+		for _, rr := range rBuckets[idx] {
+			k := rKey(rr)
+			build[k] = append(build[k], rr)
+		}
+		var out []storage.Row
+		for _, lr := range lRows {
+			matches := build[lKey(lr)]
+			if len(matches) == 0 {
+				if n.kind == LeftJoin {
+					row := make(storage.Row, 0, len(lr)+rightWidth)
+					row = append(row, lr...)
+					for i := 0; i < rightWidth; i++ {
+						row = append(row, nil)
+					}
+					out = append(out, row)
+				}
+				continue
+			}
+			for _, rr := range matches {
+				row := make(storage.Row, 0, len(lr)+len(rr))
+				row = append(row, lr...)
+				row = append(row, rr...)
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	})
+}

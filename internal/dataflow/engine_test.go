@@ -1,0 +1,606 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	c, err := cluster.New(cluster.Uniform(2, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func collect(t *testing.T, e *Engine, d *Dataset) *Result {
+	t.Helper()
+	res, err := e.Collect(context.Background(), d)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return res
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("nil cluster must be rejected")
+	}
+	c, _ := cluster.New(cluster.Uniform(1, 1, 0))
+	e, err := NewEngine(c, WithShufflePartitions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.shufflePartitions != 5 {
+		t.Errorf("shuffle partitions = %d, want 5", e.shufflePartitions)
+	}
+}
+
+func TestCollectSource(t *testing.T) {
+	e := testEngine(t)
+	res := collect(t, e, salesDataset(t))
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	if res.Stats.RowsRead != 6 || res.Stats.RowsOutput != 6 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.ShuffledRows != 0 || res.Stats.Stages != 0 {
+		t.Errorf("narrow-only plan must not shuffle: %+v", res.Stats)
+	}
+	if len(res.Records()) != 6 {
+		t.Error("Records length mismatch")
+	}
+}
+
+func TestCollectInvalidPlan(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.Collect(context.Background(), nil); !errors.Is(err, ErrNoSource) {
+		t.Errorf("nil dataset err = %v", err)
+	}
+	if _, err := e.Collect(context.Background(), FromTable(nil)); err == nil {
+		t.Error("invalid plan must fail at Collect")
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).Filter("amount >= 30", func(r Record) (bool, error) {
+		return r.Float("amount") >= 30, nil
+	})
+	n, err := e.Count(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("count = %d, want 4", n)
+	}
+}
+
+func TestFilterUDFError(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).Filter("boom", func(r Record) (bool, error) {
+		return false, errors.New("boom")
+	})
+	_, err := e.Collect(context.Background(), d)
+	if err == nil {
+		t.Fatal("UDF error must fail the job")
+	}
+}
+
+func TestMapAndProject(t *testing.T) {
+	e := testEngine(t)
+	out := storage.MustSchema(
+		storage.Field{Name: "id", Type: storage.TypeInt},
+		storage.Field{Name: "amount_eur", Type: storage.TypeFloat},
+	)
+	d := salesDataset(t).Map("to eur", out, func(r Record) (storage.Row, error) {
+		return storage.Row{r.Int("id"), r.Float("amount") * 0.92}, nil
+	})
+	res := collect(t, e, d)
+	if len(res.Rows) != 6 || res.Schema.Len() != 2 {
+		t.Fatalf("map result: rows=%d schema=%v", len(res.Rows), res.Schema.Names())
+	}
+
+	p := collect(t, e, salesDataset(t).Project("region", "amount"))
+	if p.Schema.Len() != 2 || p.Schema.Names()[0] != "region" {
+		t.Errorf("projected schema = %v", p.Schema.Names())
+	}
+}
+
+func TestMapOutputValidation(t *testing.T) {
+	e := testEngine(t)
+	out := storage.MustSchema(storage.Field{Name: "x", Type: storage.TypeInt})
+	d := salesDataset(t).Map("bad", out, func(r Record) (storage.Row, error) {
+		return storage.Row{"not an int"}, nil
+	})
+	if _, err := e.Collect(context.Background(), d); err == nil {
+		t.Error("rows violating the declared output schema must fail")
+	}
+}
+
+func TestWithColumn(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).WithColumn(
+		storage.Field{Name: "vat", Type: storage.TypeFloat},
+		func(r Record) (storage.Value, error) { return r.Float("amount") * 0.22, nil },
+	)
+	res := collect(t, e, d)
+	if !res.Schema.Has("vat") {
+		t.Fatal("vat column missing")
+	}
+	for _, rec := range res.Records() {
+		if math.Abs(rec.Float("vat")-rec.Float("amount")*0.22) > 1e-9 {
+			t.Errorf("vat mismatch for %v", rec.Row())
+		}
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	e := testEngine(t)
+	out := storage.MustSchema(storage.Field{Name: "token", Type: storage.TypeString})
+	d := salesDataset(t).FlatMap("explode region chars", out, func(r Record) ([]storage.Row, error) {
+		region := r.String("region")
+		rows := make([]storage.Row, 0, len(region))
+		for _, ch := range region {
+			rows = append(rows, storage.Row{string(ch)})
+		}
+		return rows, nil
+	})
+	res := collect(t, e, d)
+	wantTokens := 0
+	for _, r := range salesRows() {
+		wantTokens += len(r[1].(string))
+	}
+	if len(res.Rows) != wantTokens {
+		t.Errorf("flatmap rows = %d, want %d", len(res.Rows), wantTokens)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	e := testEngine(t)
+	d1 := collect(t, e, salesDataset(t).Sample(0.5, 42))
+	d2 := collect(t, e, salesDataset(t).Sample(0.5, 42))
+	if len(d1.Rows) != len(d2.Rows) {
+		t.Errorf("same seed must give same sample size: %d vs %d", len(d1.Rows), len(d2.Rows))
+	}
+	full := collect(t, e, salesDataset(t).Sample(1.0, 1))
+	if len(full.Rows) != 6 {
+		t.Errorf("fraction 1.0 must keep everything, got %d", len(full.Rows))
+	}
+	empty := collect(t, e, salesDataset(t).Sample(0.0, 1))
+	if len(empty.Rows) != 0 {
+		t.Errorf("fraction 0.0 must keep nothing, got %d", len(empty.Rows))
+	}
+}
+
+func TestUnionAndLimit(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).Union(salesDataset(t))
+	res := collect(t, e, d)
+	if len(res.Rows) != 12 {
+		t.Errorf("union rows = %d, want 12", len(res.Rows))
+	}
+	lim := collect(t, e, d.Limit(5))
+	if len(lim.Rows) != 5 {
+		t.Errorf("limit rows = %d, want 5", len(lim.Rows))
+	}
+	lim0 := collect(t, e, d.Limit(0))
+	if len(lim0.Rows) != 0 {
+		t.Errorf("limit 0 rows = %d, want 0", len(lim0.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := testEngine(t)
+	dup := salesDataset(t).Union(salesDataset(t))
+	res := collect(t, e, dup.Distinct())
+	if len(res.Rows) != 6 {
+		t.Errorf("distinct rows = %d, want 6", len(res.Rows))
+	}
+	regions := collect(t, e, salesDataset(t).Distinct("region"))
+	if len(regions.Rows) != 3 {
+		t.Errorf("distinct regions = %d, want 3", len(regions.Rows))
+	}
+	if regions.Stats.Stages == 0 || regions.Stats.ShuffledRows == 0 {
+		t.Error("distinct must introduce a shuffle stage")
+	}
+}
+
+func TestSort(t *testing.T) {
+	e := testEngine(t)
+	res := collect(t, e, salesDataset(t).Sort(SortOrder{Column: "amount", Descending: true}))
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		prev, _ := storage.AsFloat(res.Rows[i-1][2])
+		cur, _ := storage.AsFloat(res.Rows[i][2])
+		if prev < cur {
+			t.Errorf("rows not sorted descending at %d: %v < %v", i, prev, cur)
+		}
+	}
+	asc := collect(t, e, salesDataset(t).Sort(SortOrder{Column: "region"}, SortOrder{Column: "amount"}))
+	// Ties on region must then be ordered by amount ascending.
+	var lastRegion string
+	var lastAmount float64
+	for i, r := range asc.Rows {
+		region := r[1].(string)
+		amount := r[2].(float64)
+		if i > 0 {
+			if region < lastRegion {
+				t.Errorf("region order violated at %d", i)
+			}
+			if region == lastRegion && amount < lastAmount {
+				t.Errorf("amount tiebreak violated at %d", i)
+			}
+		}
+		lastRegion, lastAmount = region, amount
+	}
+}
+
+func TestGroupByAggregations(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).GroupBy("region").Agg(
+		Count(),
+		Sum("amount"),
+		Avg("amount").Named("mean_amount"),
+		Min("amount"),
+		Max("amount"),
+		CountDistinct("id"),
+		StdDev("amount"),
+	)
+	res := collect(t, e, d)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	byRegion := map[string]Record{}
+	for _, rec := range res.Records() {
+		byRegion[rec.String("region")] = rec
+	}
+	north := byRegion["north"]
+	if north.Int("count") != 3 {
+		t.Errorf("north count = %d, want 3", north.Int("count"))
+	}
+	if math.Abs(north.Float("sum_amount")-100) > 1e-9 {
+		t.Errorf("north sum = %v, want 100", north.Float("sum_amount"))
+	}
+	if math.Abs(north.Float("mean_amount")-100.0/3) > 1e-9 {
+		t.Errorf("north mean = %v", north.Float("mean_amount"))
+	}
+	if north.Float("min_amount") != 10 || north.Float("max_amount") != 60 {
+		t.Errorf("north min/max = %v/%v", north.Float("min_amount"), north.Float("max_amount"))
+	}
+	if north.Int("count_distinct_id") != 3 {
+		t.Errorf("north distinct ids = %d", north.Int("count_distinct_id"))
+	}
+	// population stddev of {10,30,60} = sqrt(((10-100/3)^2+(30-100/3)^2+(60-100/3)^2)/3)
+	mean := 100.0 / 3
+	wantStd := math.Sqrt(((10-mean)*(10-mean) + (30-mean)*(30-mean) + (60-mean)*(60-mean)) / 3)
+	if math.Abs(north.Float("stddev_amount")-wantStd) > 1e-9 {
+		t.Errorf("north stddev = %v, want %v", north.Float("stddev_amount"), wantStd)
+	}
+	south := byRegion["south"]
+	if south.Int("count") != 2 || math.Abs(south.Float("sum_amount")-70) > 1e-9 {
+		t.Errorf("south aggregation wrong: %v", south.Row())
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).
+		Filter("non-null priority", func(r Record) (bool, error) { return !r.IsNull("priority"), nil }).
+		GroupBy("region", "priority").Agg(Count())
+	res := collect(t, e, d)
+	// north/true(2 rows: ids 1,6), south/false(2), east/true(1)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3: %v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestAggregatesIgnoreNulls(t *testing.T) {
+	e := testEngine(t)
+	d := salesDataset(t).GroupBy("region").Agg(CountDistinct("priority"), Avg("priority"))
+	res := collect(t, e, d)
+	for _, rec := range res.Records() {
+		if rec.String("region") == "north" {
+			// north rows have priority true, nil, true → 1 distinct non-null value.
+			if rec.Int("count_distinct_priority") != 1 {
+				t.Errorf("north distinct priority = %d, want 1", rec.Int("count_distinct_priority"))
+			}
+		}
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	e := testEngine(t)
+	managers := FromRows("managers", storage.MustSchema(
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "manager", Type: storage.TypeString},
+	), []storage.Row{
+		{"north", "anna"},
+		{"south", "bruno"},
+	}, 2)
+	j := salesDataset(t).Join(managers, "region", "region", InnerJoin)
+	res := collect(t, e, j)
+	// north has 3 sales rows, south has 2; east is dropped.
+	if len(res.Rows) != 5 {
+		t.Fatalf("inner join rows = %d, want 5", len(res.Rows))
+	}
+	for _, rec := range res.Records() {
+		if rec.String("region") == "north" && rec.String("manager") != "anna" {
+			t.Errorf("north row joined to %q", rec.String("manager"))
+		}
+	}
+	if res.Stats.Stages < 2 {
+		t.Errorf("join must shuffle both sides, stages = %d", res.Stats.Stages)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	e := testEngine(t)
+	managers := FromRows("managers", storage.MustSchema(
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "manager", Type: storage.TypeString},
+	), []storage.Row{{"north", "anna"}}, 1)
+	j := salesDataset(t).Join(managers, "region", "region", LeftJoin)
+	res := collect(t, e, j)
+	if len(res.Rows) != 6 {
+		t.Fatalf("left join rows = %d, want 6", len(res.Rows))
+	}
+	nullManagers := 0
+	for _, rec := range res.Records() {
+		if rec.IsNull("manager") {
+			nullManagers++
+		}
+	}
+	if nullManagers != 3 { // south x2 + east x1
+		t.Errorf("null-extended rows = %d, want 3", nullManagers)
+	}
+}
+
+func TestJoinDuplicateKeysProduceCrossProduct(t *testing.T) {
+	e := testEngine(t)
+	left := FromRows("l", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeString},
+		storage.Field{Name: "lv", Type: storage.TypeInt},
+	), []storage.Row{{"a", int64(1)}, {"a", int64(2)}}, 2)
+	right := FromRows("r", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeString},
+		storage.Field{Name: "rv", Type: storage.TypeInt},
+	), []storage.Row{{"a", int64(10)}, {"a", int64(20)}, {"a", int64(30)}}, 2)
+	res := collect(t, e, left.Join(right, "k", "k", InnerJoin))
+	if len(res.Rows) != 6 {
+		t.Errorf("duplicate-key join rows = %d, want 2*3=6", len(res.Rows))
+	}
+}
+
+func TestResultTable(t *testing.T) {
+	e := testEngine(t)
+	res := collect(t, e, salesDataset(t).GroupBy("region").Agg(Count()))
+	tbl, err := res.Table("per_region")
+	if err != nil {
+		t.Fatalf("Result.Table: %v", err)
+	}
+	if tbl.NumRows() != len(res.Rows) || tbl.Name() != "per_region" {
+		t.Errorf("table rows = %d name = %q", tbl.NumRows(), tbl.Name())
+	}
+}
+
+func TestEngineMetricsAccumulate(t *testing.T) {
+	e := testEngine(t)
+	_ = collect(t, e, salesDataset(t).GroupBy("region").Agg(Count()))
+	snap := e.Metrics().Snapshot()
+	if snap.CounterValue("actions") != 1 {
+		t.Errorf("actions = %d", snap.CounterValue("actions"))
+	}
+	if snap.CounterValue("rows.read") != 6 {
+		t.Errorf("rows.read = %d", snap.CounterValue("rows.read"))
+	}
+	if snap.CounterValue("tasks") == 0 || snap.CounterValue("rows.shuffled") == 0 {
+		t.Error("tasks and shuffled rows must be recorded")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	e := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Collect(ctx, salesDataset(t)); err == nil {
+		t.Error("cancelled context must fail")
+	}
+}
+
+func TestEndToEndPipelineWithRetries(t *testing.T) {
+	// A cluster with injected failures must still produce exact results.
+	cfg := cluster.Uniform(2, 2, 0.2)
+	cfg.MaxAttempts = 8
+	cfg.Seed = 5
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := salesDataset(t).
+		Filter("amount > 5", func(r Record) (bool, error) { return r.Float("amount") > 5, nil }).
+		GroupBy("region").Agg(Sum("amount"))
+	res, err := e.Collect(context.Background(), d)
+	if err != nil {
+		t.Fatalf("Collect with failure injection: %v", err)
+	}
+	total := 0.0
+	for _, rec := range res.Records() {
+		total += rec.Float("sum_amount")
+	}
+	if math.Abs(total-210) > 1e-9 {
+		t.Errorf("total = %v, want 210", total)
+	}
+}
+
+// Property: for random integer datasets, GroupBy(key).Agg(Sum) equals a
+// sequential reference aggregation.
+func TestGroupBySumMatchesReference(t *testing.T) {
+	e := testEngine(t)
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeInt},
+	)
+	f := func(pairs []struct{ K, V int8 }) bool {
+		rows := make([]storage.Row, len(pairs))
+		ref := map[int64]float64{}
+		for i, p := range pairs {
+			k, v := int64(p.K%4), int64(p.V)
+			rows[i] = storage.Row{k, v}
+			ref[k] += float64(v)
+		}
+		d := FromRows("nums", schema, rows, 3).GroupBy("k").Agg(Sum("v"))
+		res, err := e.Collect(context.Background(), d)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(ref) {
+			return false
+		}
+		for _, rec := range res.Records() {
+			if math.Abs(ref[rec.Int("k")]-rec.Float("sum_v")) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Filter then Count equals counting matching rows sequentially.
+func TestFilterCountMatchesReference(t *testing.T) {
+	e := testEngine(t)
+	schema := storage.MustSchema(storage.Field{Name: "v", Type: storage.TypeInt})
+	f := func(values []int16, threshold int16) bool {
+		rows := make([]storage.Row, len(values))
+		want := int64(0)
+		for i, v := range values {
+			rows[i] = storage.Row{int64(v)}
+			if int64(v) > int64(threshold) {
+				want++
+			}
+		}
+		d := FromRows("vals", schema, rows, 4).Filter("gt", func(r Record) (bool, error) {
+			return r.Int("v") > int64(threshold), nil
+		})
+		got, err := e.Count(context.Background(), d)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sort produces a permutation of its input in non-decreasing order.
+func TestSortProperty(t *testing.T) {
+	e := testEngine(t)
+	schema := storage.MustSchema(storage.Field{Name: "v", Type: storage.TypeInt})
+	f := func(values []int16) bool {
+		rows := make([]storage.Row, len(values))
+		for i, v := range values {
+			rows[i] = storage.Row{int64(v)}
+		}
+		res, err := e.Collect(context.Background(), FromRows("vals", schema, rows, 3).Sort(SortOrder{Column: "v"}))
+		if err != nil || len(res.Rows) != len(values) {
+			return false
+		}
+		got := make([]int, len(res.Rows))
+		for i, r := range res.Rows {
+			got[i] = int(r[0].(int64))
+		}
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		// Permutation check via multiset equality.
+		want := make([]int, len(values))
+		for i, v := range values {
+			want[i] = int(v)
+		}
+		sort.Ints(want)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyPartitionsMoreThanRows(t *testing.T) {
+	e := testEngine(t)
+	schema := storage.MustSchema(storage.Field{Name: "v", Type: storage.TypeInt})
+	d := FromRows("tiny", schema, []storage.Row{{int64(1)}}, 16)
+	res := collect(t, e, d.GroupBy("v").Agg(Count()))
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestEmptyDatasetOperations(t *testing.T) {
+	e := testEngine(t)
+	schema := storage.MustSchema(storage.Field{Name: "v", Type: storage.TypeInt})
+	empty := FromRows("empty", schema, nil, 2)
+	cases := []*Dataset{
+		empty.Filter("x", func(Record) (bool, error) { return true, nil }),
+		empty.GroupBy("v").Agg(Count()),
+		empty.Distinct(),
+		empty.Sort(SortOrder{Column: "v"}),
+		empty.Limit(10),
+		empty.Join(empty, "v", "v", InnerJoin),
+	}
+	for i, d := range cases {
+		res, err := e.Collect(context.Background(), d)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("case %d: rows = %d, want 0", i, len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkGroupByShuffle(b *testing.B) {
+	c, _ := cluster.New(cluster.Uniform(2, 2, 0))
+	e, _ := NewEngine(c)
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	rows := make([]storage.Row, 20000)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i % 50), float64(i)}
+	}
+	d := FromRows("bench", schema, rows, 8).GroupBy("k").Agg(Sum("v"), Count())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Collect(context.Background(), d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows/op")
+}

@@ -1,0 +1,304 @@
+// Package procedural defines the procedural model of the TOREADOR
+// methodology: an executable service composition (a DAG of catalog services)
+// produced by compiling a declarative campaign and later bound to a concrete
+// deployment.
+//
+// The composition captures which service runs in each of the five design
+// areas and in which order, independent of where it runs; the deployment
+// package binds it to a platform and the runner executes it on the dataflow
+// engine.
+package procedural
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+)
+
+// Errors reported by composition validation.
+var (
+	ErrInvalidComposition = errors.New("procedural: invalid composition")
+	ErrCycle              = errors.New("procedural: composition contains a cycle")
+)
+
+// Step is one node of the composition DAG: a catalog service plus its wiring.
+type Step struct {
+	// ID uniquely identifies the step inside the composition.
+	ID string `json:"id"`
+	// Service is the catalog service executed by this step.
+	Service catalog.Descriptor `json:"service"`
+	// DependsOn lists the step IDs that must complete before this step.
+	DependsOn []string `json:"depends_on,omitempty"`
+	// Params carries step-specific parameters resolved at compile time
+	// (e.g. the label column for a classifier).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Composition is the full procedural model of one campaign.
+type Composition struct {
+	// Campaign is the name of the declarative campaign this was compiled from.
+	Campaign string `json:"campaign"`
+	// Steps are the composition nodes. Order is not significant; use
+	// TopologicalOrder for execution order.
+	Steps []Step `json:"steps"`
+}
+
+// Validate checks structural well-formedness: non-empty, unique step IDs,
+// resolvable dependencies, acyclicity, and area monotonicity (a step may only
+// depend on steps whose area is the same or earlier in the pipeline order).
+func (c *Composition) Validate() error {
+	if c == nil || len(c.Steps) == 0 {
+		return fmt.Errorf("%w: no steps", ErrInvalidComposition)
+	}
+	index := make(map[string]Step, len(c.Steps))
+	for _, s := range c.Steps {
+		if strings.TrimSpace(s.ID) == "" {
+			return fmt.Errorf("%w: step with empty id", ErrInvalidComposition)
+		}
+		if _, dup := index[s.ID]; dup {
+			return fmt.Errorf("%w: duplicate step id %q", ErrInvalidComposition, s.ID)
+		}
+		if err := s.Service.Validate(); err != nil {
+			return fmt.Errorf("%w: step %q: %v", ErrInvalidComposition, s.ID, err)
+		}
+		index[s.ID] = s
+	}
+	for _, s := range c.Steps {
+		for _, dep := range s.DependsOn {
+			parent, ok := index[dep]
+			if !ok {
+				return fmt.Errorf("%w: step %q depends on unknown step %q", ErrInvalidComposition, s.ID, dep)
+			}
+			if parent.Service.Area.Order() > s.Service.Area.Order() {
+				return fmt.Errorf("%w: step %q (%s) depends on later-area step %q (%s)",
+					ErrInvalidComposition, s.ID, s.Service.Area, dep, parent.Service.Area)
+			}
+		}
+	}
+	if _, err := c.TopologicalOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopologicalOrder returns the steps in a valid execution order (dependencies
+// first). The order is deterministic: ties are broken by area order and then
+// by step ID.
+func (c *Composition) TopologicalOrder() ([]Step, error) {
+	index := make(map[string]Step, len(c.Steps))
+	indegree := make(map[string]int, len(c.Steps))
+	dependents := make(map[string][]string, len(c.Steps))
+	for _, s := range c.Steps {
+		index[s.ID] = s
+		if _, ok := indegree[s.ID]; !ok {
+			indegree[s.ID] = 0
+		}
+	}
+	for _, s := range c.Steps {
+		for _, dep := range s.DependsOn {
+			if _, ok := index[dep]; !ok {
+				return nil, fmt.Errorf("%w: unknown dependency %q", ErrInvalidComposition, dep)
+			}
+			indegree[s.ID]++
+			dependents[dep] = append(dependents[dep], s.ID)
+		}
+	}
+	ready := make([]string, 0, len(c.Steps))
+	for id, deg := range indegree {
+		if deg == 0 {
+			ready = append(ready, id)
+		}
+	}
+	less := func(a, b string) bool {
+		sa, sb := index[a], index[b]
+		if sa.Service.Area.Order() != sb.Service.Area.Order() {
+			return sa.Service.Area.Order() < sb.Service.Area.Order()
+		}
+		return a < b
+	}
+	sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+
+	var order []Step
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, index[id])
+		for _, next := range dependents[id] {
+			indegree[next]--
+			if indegree[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+	}
+	if len(order) != len(c.Steps) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// StepsByArea returns the steps belonging to the given area, in ID order.
+func (c *Composition) StepsByArea(area model.Area) []Step {
+	var out []Step
+	for _, s := range c.Steps {
+		if s.Service.Area == area {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Step returns the step with the given ID.
+func (c *Composition) Step(id string) (Step, bool) {
+	for _, s := range c.Steps {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Step{}, false
+}
+
+// AnalyticsStep returns the (first) analytics-area step, which drives the
+// runner's task dispatch.
+func (c *Composition) AnalyticsStep() (Step, bool) {
+	steps := c.StepsByArea(model.AreaAnalytics)
+	if len(steps) == 0 {
+		return Step{}, false
+	}
+	return steps[0], true
+}
+
+// HasCapability reports whether any step's service exposes the capability.
+func (c *Composition) HasCapability(capability string) bool {
+	for _, s := range c.Steps {
+		if s.Service.Capability == capability {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnonymization reports whether the composition contains an anonymising
+// preparation step.
+func (c *Composition) HasAnonymization() bool {
+	for _, s := range c.Steps {
+		if s.Service.Anonymizes {
+			return true
+		}
+	}
+	return false
+}
+
+// ServiceIDs returns the catalog IDs of every step in topological order;
+// useful as a compact fingerprint of an alternative.
+func (c *Composition) ServiceIDs() []string {
+	order, err := c.TopologicalOrder()
+	if err != nil {
+		// Fall back to declaration order for invalid compositions.
+		order = c.Steps
+	}
+	out := make([]string, len(order))
+	for i, s := range order {
+		out[i] = s.Service.ID
+	}
+	return out
+}
+
+// Fingerprint returns a stable textual identity of the composition based on
+// the chosen services.
+func (c *Composition) Fingerprint() string {
+	return strings.Join(c.ServiceIDs(), " -> ")
+}
+
+// EstimateCost sums the static per-service cost estimates for the given input
+// size.
+func (c *Composition) EstimateCost(rows int) float64 {
+	total := 0.0
+	for _, s := range c.Steps {
+		total += s.Service.EstimateCost(rows)
+	}
+	return total
+}
+
+// EstimateLatencyMillis returns the critical-path latency estimate for the
+// given input size and degree of parallelism: the longest dependency chain
+// where each step contributes its per-service latency estimate.
+func (c *Composition) EstimateLatencyMillis(rows, parallelism int) float64 {
+	memo := make(map[string]float64, len(c.Steps))
+	index := make(map[string]Step, len(c.Steps))
+	for _, s := range c.Steps {
+		index[s.ID] = s
+	}
+	var chain func(id string, visiting map[string]bool) float64
+	chain = func(id string, visiting map[string]bool) float64 {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		if visiting[id] {
+			return 0 // cycle: Validate reports it; avoid infinite recursion here
+		}
+		visiting[id] = true
+		defer delete(visiting, id)
+		s := index[id]
+		longest := 0.0
+		for _, dep := range s.DependsOn {
+			if _, ok := index[dep]; !ok {
+				continue
+			}
+			if v := chain(dep, visiting); v > longest {
+				longest = v
+			}
+		}
+		total := longest + s.Service.EstimateLatencyMillis(rows, parallelism)
+		memo[id] = total
+		return total
+	}
+	longest := 0.0
+	for _, s := range c.Steps {
+		if v := chain(s.ID, map[string]bool{}); v > longest {
+			longest = v
+		}
+	}
+	return longest
+}
+
+// EstimateQuality returns the expected analytics quality of the composition:
+// the quality of its analytics step (0 when there is none).
+func (c *Composition) EstimateQuality() float64 {
+	step, ok := c.AnalyticsStep()
+	if !ok {
+		return 0
+	}
+	return step.Service.Quality
+}
+
+// SupportsStreaming reports whether every step can run in a streaming
+// deployment.
+func (c *Composition) SupportsStreaming() bool {
+	for _, s := range c.Steps {
+		if !s.Service.SupportsStreaming {
+			return false
+		}
+	}
+	return len(c.Steps) > 0
+}
+
+// SupportsBatch reports whether every step can run in a batch deployment.
+func (c *Composition) SupportsBatch() bool {
+	for _, s := range c.Steps {
+		if !s.Service.SupportsBatch {
+			return false
+		}
+	}
+	return len(c.Steps) > 0
+}
+
+// String renders the composition as a compact arrow-chain of service IDs.
+func (c *Composition) String() string {
+	return fmt.Sprintf("%s: %s", c.Campaign, c.Fingerprint())
+}

@@ -1,0 +1,272 @@
+package procedural
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// svc builds a minimal valid descriptor for tests.
+func svc(id string, area model.Area, opts ...func(*catalog.Descriptor)) catalog.Descriptor {
+	d := catalog.Descriptor{
+		ID: id, Name: id, Area: area, Capability: "cap-" + id,
+		MaxSensitivity: storage.Internal, SupportsBatch: true,
+		CostPerKRows: 0.01, MillisPerKRows: 10,
+	}
+	if area == model.AreaAnalytics {
+		d.Task = model.TaskClassification
+		d.Quality = 0.8
+	}
+	for _, o := range opts {
+		o(&d)
+	}
+	return d
+}
+
+// linearComposition builds ingest -> prepare -> analyze -> process -> display.
+func linearComposition() *Composition {
+	return &Composition{
+		Campaign: "test",
+		Steps: []Step{
+			{ID: "ingest", Service: svc("ingest-batch", model.AreaRepresentation)},
+			{ID: "prepare", Service: svc("clean", model.AreaPreparation), DependsOn: []string{"ingest"}},
+			{ID: "analyze", Service: svc("classify", model.AreaAnalytics), DependsOn: []string{"prepare"}},
+			{ID: "process", Service: svc("batch", model.AreaProcessing), DependsOn: []string{"analyze"}},
+			{ID: "display", Service: svc("dash", model.AreaDisplay), DependsOn: []string{"process"}},
+		},
+	}
+}
+
+func TestValidateLinear(t *testing.T) {
+	if err := linearComposition().Validate(); err != nil {
+		t.Fatalf("valid composition rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadCompositions(t *testing.T) {
+	var nilComp *Composition
+	if err := nilComp.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("nil composition must fail")
+	}
+	if err := (&Composition{Campaign: "x"}).Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("empty composition must fail")
+	}
+
+	c := linearComposition()
+	c.Steps[1].ID = ""
+	if err := c.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("empty step id must fail")
+	}
+
+	c = linearComposition()
+	c.Steps[1].ID = "ingest"
+	if err := c.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("duplicate step id must fail")
+	}
+
+	c = linearComposition()
+	c.Steps[1].DependsOn = []string{"ghost"}
+	if err := c.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("unknown dependency must fail")
+	}
+
+	c = linearComposition()
+	c.Steps[1].Service = catalog.Descriptor{} // invalid service
+	if err := c.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("invalid service must fail")
+	}
+
+	// Area monotonicity: a preparation step must not depend on analytics.
+	c = linearComposition()
+	c.Steps[1].DependsOn = []string{"analyze"}
+	if err := c.Validate(); !errors.Is(err, ErrInvalidComposition) {
+		t.Error("area order violation must fail")
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	c := &Composition{
+		Campaign: "cyclic",
+		Steps: []Step{
+			{ID: "a", Service: svc("s1", model.AreaPreparation), DependsOn: []string{"b"}},
+			{ID: "b", Service: svc("s2", model.AreaPreparation), DependsOn: []string{"a"}},
+		},
+	}
+	if err := c.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle err = %v, want ErrCycle", err)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	c := linearComposition()
+	order, err := c.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	position := map[string]int{}
+	for i, s := range order {
+		position[s.ID] = i
+	}
+	for _, s := range c.Steps {
+		for _, dep := range s.DependsOn {
+			if position[dep] >= position[s.ID] {
+				t.Errorf("dependency %s not before %s", dep, s.ID)
+			}
+		}
+	}
+	// Deterministic order: areas ascending.
+	if order[0].ID != "ingest" || order[len(order)-1].ID != "display" {
+		t.Errorf("order = %v", c.ServiceIDs())
+	}
+}
+
+func TestTopologicalOrderWithParallelBranches(t *testing.T) {
+	c := &Composition{
+		Campaign: "diamond",
+		Steps: []Step{
+			{ID: "src", Service: svc("src", model.AreaRepresentation)},
+			{ID: "prep-b", Service: svc("p2", model.AreaPreparation), DependsOn: []string{"src"}},
+			{ID: "prep-a", Service: svc("p1", model.AreaPreparation), DependsOn: []string{"src"}},
+			{ID: "analyze", Service: svc("an", model.AreaAnalytics), DependsOn: []string{"prep-a", "prep-b"}},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].ID != "src" || order[3].ID != "analyze" {
+		t.Errorf("order = %v", c.ServiceIDs())
+	}
+	// Siblings must be ordered deterministically by id.
+	if order[1].ID != "prep-a" || order[2].ID != "prep-b" {
+		t.Errorf("sibling order = %s, %s", order[1].ID, order[2].ID)
+	}
+}
+
+func TestLookupsAndCapabilities(t *testing.T) {
+	c := linearComposition()
+	if s, ok := c.Step("analyze"); !ok || s.Service.Area != model.AreaAnalytics {
+		t.Error("Step lookup misbehaves")
+	}
+	if _, ok := c.Step("ghost"); ok {
+		t.Error("unknown step must report !ok")
+	}
+	if s, ok := c.AnalyticsStep(); !ok || s.ID != "analyze" {
+		t.Error("AnalyticsStep misbehaves")
+	}
+	if got := c.StepsByArea(model.AreaPreparation); len(got) != 1 || got[0].ID != "prepare" {
+		t.Errorf("StepsByArea = %v", got)
+	}
+	if !c.HasCapability("cap-classify") || c.HasCapability("nope") {
+		t.Error("HasCapability misbehaves")
+	}
+	if c.HasAnonymization() {
+		t.Error("plain composition has no anonymization")
+	}
+	c.Steps[1].Service.Anonymizes = true
+	if !c.HasAnonymization() {
+		t.Error("anonymizing step not detected")
+	}
+
+	noAnalytics := &Composition{Campaign: "x", Steps: []Step{{ID: "a", Service: svc("s", model.AreaPreparation)}}}
+	if _, ok := noAnalytics.AnalyticsStep(); ok {
+		t.Error("composition without analytics step must report !ok")
+	}
+	if noAnalytics.EstimateQuality() != 0 {
+		t.Error("quality without analytics step must be 0")
+	}
+}
+
+func TestFingerprintAndString(t *testing.T) {
+	c := linearComposition()
+	fp := c.Fingerprint()
+	if !strings.HasPrefix(fp, "ingest-batch -> clean") || !strings.HasSuffix(fp, "dash") {
+		t.Errorf("fingerprint = %q", fp)
+	}
+	if !strings.Contains(c.String(), "test:") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	c := linearComposition()
+	rows := 10000
+	// Cost: 5 services x 0.01 per kRow x 10 kRows = 0.5.
+	if got := c.EstimateCost(rows); got < 0.49 || got > 0.51 {
+		t.Errorf("cost = %v, want 0.5", got)
+	}
+	// Latency: linear chain of 5 services x 10ms/kRow x 10kRows = 500ms at
+	// parallelism 1, halved at parallelism 2.
+	seq := c.EstimateLatencyMillis(rows, 1)
+	if seq < 499 || seq > 501 {
+		t.Errorf("latency = %v, want 500", seq)
+	}
+	par := c.EstimateLatencyMillis(rows, 2)
+	if par >= seq {
+		t.Error("higher parallelism must lower the latency estimate")
+	}
+	if got := c.EstimateQuality(); got != 0.8 {
+		t.Errorf("quality = %v, want 0.8", got)
+	}
+}
+
+func TestEstimateLatencyUsesCriticalPath(t *testing.T) {
+	// Two parallel branches of different lengths: critical path is the longer.
+	slow := svc("slow", model.AreaPreparation, func(d *catalog.Descriptor) { d.MillisPerKRows = 100 })
+	fast := svc("fast", model.AreaPreparation, func(d *catalog.Descriptor) { d.MillisPerKRows = 1 })
+	c := &Composition{
+		Campaign: "branches",
+		Steps: []Step{
+			{ID: "src", Service: svc("src", model.AreaRepresentation, func(d *catalog.Descriptor) { d.MillisPerKRows = 0 })},
+			{ID: "slow", Service: slow, DependsOn: []string{"src"}},
+			{ID: "fast", Service: fast, DependsOn: []string{"src"}},
+			{ID: "sink", Service: svc("sink", model.AreaAnalytics, func(d *catalog.Descriptor) { d.MillisPerKRows = 0 }),
+				DependsOn: []string{"slow", "fast"}},
+		},
+	}
+	got := c.EstimateLatencyMillis(1000, 1)
+	if got < 99 || got > 101 {
+		t.Errorf("critical path latency = %v, want 100", got)
+	}
+}
+
+func TestSupportsBatchAndStreaming(t *testing.T) {
+	c := linearComposition()
+	if !c.SupportsBatch() {
+		t.Error("all-batch composition must support batch")
+	}
+	if c.SupportsStreaming() {
+		t.Error("batch-only composition must not support streaming")
+	}
+	for i := range c.Steps {
+		c.Steps[i].Service.SupportsStreaming = true
+	}
+	if !c.SupportsStreaming() {
+		t.Error("all-streaming composition must support streaming")
+	}
+	empty := &Composition{}
+	if empty.SupportsBatch() || empty.SupportsStreaming() {
+		t.Error("empty composition supports nothing")
+	}
+}
+
+func TestServiceIDsOnInvalidComposition(t *testing.T) {
+	c := &Composition{
+		Campaign: "cyclic",
+		Steps: []Step{
+			{ID: "a", Service: svc("s1", model.AreaPreparation), DependsOn: []string{"b"}},
+			{ID: "b", Service: svc("s2", model.AreaPreparation), DependsOn: []string{"a"}},
+		},
+	}
+	// Falls back to declaration order instead of failing.
+	if got := c.ServiceIDs(); len(got) != 2 {
+		t.Errorf("ServiceIDs on cyclic composition = %v", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package repo implements the model repository of the platform: versioned,
+// file-based persistence of declarative campaigns and of the reports produced
+// by compiling and running them. The TOREADOR platform keeps every model a
+// user edits so that campaign variants can be recalled and compared; this
+// package provides that capability with plain JSON files so repositories stay
+// inspectable and diffable.
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Errors returned by the repository.
+var (
+	ErrNotFound    = errors.New("repo: not found")
+	ErrInvalidName = errors.New("repo: invalid name")
+)
+
+// Repository stores campaigns and run records under a root directory:
+//
+//	<root>/campaigns/<name>/v<NNN>.json
+//	<root>/runs/<campaign>/<timestamp>-<label>.json
+type Repository struct {
+	root string
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Open creates (if needed) and opens a repository rooted at dir.
+func Open(dir string) (*Repository, error) {
+	if strings.TrimSpace(dir) == "" {
+		return nil, fmt.Errorf("%w: empty repository root", ErrInvalidName)
+	}
+	for _, sub := range []string{"campaigns", "runs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("repo: create %s: %w", sub, err)
+		}
+	}
+	return &Repository{root: dir, now: time.Now}, nil
+}
+
+// Root returns the repository root directory.
+func (r *Repository) Root() string { return r.root }
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+func validateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("%w: %q", ErrInvalidName, name)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+// SaveCampaign stores a new version of the campaign and returns the version
+// number (starting at 1).
+func (r *Repository) SaveCampaign(c *model.Campaign) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := validateName(c.Name); err != nil {
+		return 0, err
+	}
+	dir := filepath.Join(r.root, "campaigns", c.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("repo: create campaign dir: %w", err)
+	}
+	versions, err := r.CampaignVersions(c.Name)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return 0, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	path := filepath.Join(dir, fmt.Sprintf("v%03d.json", next))
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("repo: marshal campaign: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("repo: write campaign: %w", err)
+	}
+	return next, nil
+}
+
+// CampaignVersions returns the stored version numbers of a campaign in
+// ascending order.
+func (r *Repository) CampaignVersions(name string) ([]int, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(r.root, "campaigns", name)
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: campaign %q", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repo: read campaign dir: %w", err)
+	}
+	var versions []int
+	for _, e := range entries {
+		var v int
+		if _, err := fmt.Sscanf(e.Name(), "v%03d.json", &v); err == nil {
+			versions = append(versions, v)
+		}
+	}
+	sort.Ints(versions)
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("%w: campaign %q has no versions", ErrNotFound, name)
+	}
+	return versions, nil
+}
+
+// LoadCampaign loads a specific version of a campaign; version 0 loads the
+// latest.
+func (r *Repository) LoadCampaign(name string, version int) (*model.Campaign, error) {
+	versions, err := r.CampaignVersions(name)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 {
+		version = versions[len(versions)-1]
+	}
+	found := false
+	for _, v := range versions {
+		if v == version {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: campaign %q version %d", ErrNotFound, name, version)
+	}
+	path := filepath.Join(r.root, "campaigns", name, fmt.Sprintf("v%03d.json", version))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: open campaign: %w", err)
+	}
+	defer f.Close()
+	return model.DecodeCampaign(f)
+}
+
+// ListCampaigns returns the names of every stored campaign, sorted.
+func (r *Repository) ListCampaigns() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(r.root, "campaigns"))
+	if err != nil {
+		return nil, fmt.Errorf("repo: list campaigns: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ---------------------------------------------------------------------------
+// Run records
+// ---------------------------------------------------------------------------
+
+// RunRecord is the persisted summary of one executed pipeline run.
+type RunRecord struct {
+	// Campaign is the campaign name.
+	Campaign string `json:"campaign"`
+	// Label identifies the run (e.g. the alternative fingerprint).
+	Label string `json:"label"`
+	// RecordedAt is the persistence timestamp (UTC).
+	RecordedAt time.Time `json:"recorded_at"`
+	// Compliant and Feasible summarise the outcome.
+	Compliant bool `json:"compliant"`
+	Feasible  bool `json:"feasible"`
+	// Score is the SLA/Labs score.
+	Score float64 `json:"score"`
+	// Indicators holds the measured indicator values.
+	Indicators map[string]float64 `json:"indicators"`
+	// Details carries free-form diagnostics.
+	Details map[string]string `json:"details,omitempty"`
+}
+
+// SaveRun persists a run record and returns the file name used.
+func (r *Repository) SaveRun(rec RunRecord) (string, error) {
+	if err := validateName(rec.Campaign); err != nil {
+		return "", err
+	}
+	if rec.RecordedAt.IsZero() {
+		rec.RecordedAt = r.now().UTC()
+	}
+	dir := filepath.Join(r.root, "runs", rec.Campaign)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("repo: create runs dir: %w", err)
+	}
+	label := sanitizeLabel(rec.Label)
+	name := fmt.Sprintf("%s-%s.json", rec.RecordedAt.Format("20060102T150405.000000000"), label)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("repo: marshal run: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		return "", fmt.Errorf("repo: write run: %w", err)
+	}
+	return name, nil
+}
+
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "run"
+	}
+	var b strings.Builder
+	for _, ch := range label {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9', ch == '-', ch == '_':
+			b.WriteRune(ch)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if len(s) > 80 {
+		s = s[:80]
+	}
+	return s
+}
+
+// ListRuns returns every stored run record of a campaign, oldest first.
+func (r *Repository) ListRuns(campaign string) ([]RunRecord, error) {
+	if err := validateName(campaign); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(r.root, "runs", campaign)
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: no runs for campaign %q", ErrNotFound, campaign)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repo: list runs: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []RunRecord
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("repo: read run %s: %w", name, err)
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("repo: parse run %s: %w", name, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// BestRun returns the highest-scoring stored run of the campaign.
+func (r *Repository) BestRun(campaign string) (RunRecord, error) {
+	runs, err := r.ListRuns(campaign)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	best := runs[0]
+	for _, rec := range runs[1:] {
+		if rec.Score > best.Score {
+			best = rec
+		}
+	}
+	return best, nil
+}

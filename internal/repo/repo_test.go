@@ -1,0 +1,155 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func testCampaign(name string) *model.Campaign {
+	return &model.Campaign{
+		Name: name,
+		Goal: model.Goal{
+			Task:           model.TaskClassification,
+			TargetTable:    "t",
+			LabelColumn:    "y",
+			FeatureColumns: []string{"x"},
+		},
+		Sources: []model.DataSource{{Table: "t"}},
+		Regime:  model.RegimeNone,
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); !errors.Is(err, ErrInvalidName) {
+		t.Errorf("err = %v, want ErrInvalidName", err)
+	}
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Root() == "" {
+		t.Error("root must be set")
+	}
+}
+
+func TestCampaignVersioning(t *testing.T) {
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCampaign("churn")
+	v1, err := r.SaveCampaign(c)
+	if err != nil || v1 != 1 {
+		t.Fatalf("first save = %d, %v", v1, err)
+	}
+	c2 := c.Clone()
+	c2.Objectives = []model.Objective{{Indicator: model.IndicatorCost, Comparison: model.AtMost, Target: 5}}
+	v2, err := r.SaveCampaign(c2)
+	if err != nil || v2 != 2 {
+		t.Fatalf("second save = %d, %v", v2, err)
+	}
+	versions, err := r.CampaignVersions("churn")
+	if err != nil || len(versions) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Fatalf("versions = %v, %v", versions, err)
+	}
+	latest, err := r.LoadCampaign("churn", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(latest.Objectives) != 1 {
+		t.Error("latest must be version 2")
+	}
+	first, err := r.LoadCampaign("churn", 1)
+	if err != nil || len(first.Objectives) != 0 {
+		t.Errorf("version 1 = %+v, %v", first, err)
+	}
+	if _, err := r.LoadCampaign("churn", 9); !errors.Is(err, ErrNotFound) {
+		t.Error("missing version must fail")
+	}
+	if _, err := r.LoadCampaign("ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Error("missing campaign must fail")
+	}
+	names, err := r.ListCampaigns()
+	if err != nil || len(names) != 1 || names[0] != "churn" {
+		t.Errorf("ListCampaigns = %v, %v", names, err)
+	}
+}
+
+func TestSaveCampaignValidation(t *testing.T) {
+	r, _ := Open(t.TempDir())
+	bad := testCampaign("x")
+	bad.Goal.TargetTable = ""
+	if _, err := r.SaveCampaign(bad); err == nil {
+		t.Error("invalid campaign must not be persisted")
+	}
+	evil := testCampaign("../escape")
+	if _, err := r.SaveCampaign(evil); !errors.Is(err, ErrInvalidName) {
+		t.Error("path-traversal names must be rejected")
+	}
+	if _, err := r.CampaignVersions("../x"); !errors.Is(err, ErrInvalidName) {
+		t.Error("invalid names must be rejected on read too")
+	}
+}
+
+func TestRunRecords(t *testing.T) {
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic, strictly increasing clock so file names never collide.
+	tick := time.Date(2017, 3, 21, 10, 0, 0, 0, time.UTC)
+	r.now = func() time.Time {
+		tick = tick.Add(time.Second)
+		return tick
+	}
+	records := []RunRecord{
+		{Campaign: "churn", Label: "logreg @ batch", Score: 0.8, Compliant: true, Feasible: true,
+			Indicators: map[string]float64{"accuracy": 0.82}},
+		{Campaign: "churn", Label: "stump @ batch", Score: 0.6, Compliant: true, Feasible: false},
+		{Campaign: "churn", Label: "export @ batch", Score: 0.2, Compliant: false, Feasible: false},
+	}
+	for _, rec := range records {
+		if _, err := r.SaveRun(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := r.ListRuns("churn")
+	if err != nil || len(runs) != 3 {
+		t.Fatalf("runs = %d, %v", len(runs), err)
+	}
+	if runs[0].Label != "logreg @ batch" {
+		t.Errorf("runs must be ordered oldest first, got %q", runs[0].Label)
+	}
+	if runs[0].Indicators["accuracy"] != 0.82 {
+		t.Error("indicator values must round-trip")
+	}
+	best, err := r.BestRun("churn")
+	if err != nil || best.Score != 0.8 {
+		t.Errorf("best run = %+v, %v", best, err)
+	}
+	if _, err := r.ListRuns("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Error("runs of unknown campaign must fail")
+	}
+	if _, err := r.SaveRun(RunRecord{Campaign: "../bad"}); !errors.Is(err, ErrInvalidName) {
+		t.Error("invalid campaign name must be rejected")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel(""); got != "run" {
+		t.Errorf("empty label = %q", got)
+	}
+	if got := sanitizeLabel("a b/c:d"); got != "a_b_c_d" {
+		t.Errorf("sanitized = %q", got)
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := sanitizeLabel(string(long)); len(got) != 80 {
+		t.Errorf("long label length = %d, want 80", len(got))
+	}
+}

@@ -1,0 +1,635 @@
+// Package runner executes a compiled campaign alternative on the simulated
+// Big Data substrate: it builds the cluster described by the deployment plan,
+// runs the preparation steps as dataflow transformations, dispatches the
+// analytics step to the corresponding algorithm, and measures the standard
+// indicators (accuracy, latency, cost, throughput, privacy, freshness) that
+// the SLA engine evaluates and the Labs use for scoring.
+//
+// Where the paper's platform would submit the generated pipeline to Spark,
+// the runner submits it to internal/dataflow + internal/cluster — the
+// substitution documented in DESIGN.md.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/deployment"
+	"repro/internal/model"
+	"repro/internal/procedural"
+	"repro/internal/sla"
+	"repro/internal/storage"
+)
+
+// Errors returned by the runner.
+var (
+	ErrBadRun        = errors.New("runner: bad run request")
+	ErrMissingParam  = errors.New("runner: analytics step is missing a parameter")
+	ErrUnknownEngine = errors.New("runner: no implementation for analytics service")
+)
+
+// Runner executes alternatives against a data catalog.
+type Runner struct {
+	data        *storage.Catalog
+	seed        int64
+	failureRate float64
+}
+
+// Option configures the runner.
+type Option func(*Runner)
+
+// WithSeed sets the seed used for cluster failure injection and train/test
+// splits (default 1).
+func WithSeed(seed int64) Option {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// WithFailureInjection enables transient task failures at the given rate.
+func WithFailureInjection(rate float64) Option {
+	return func(r *Runner) { r.failureRate = rate }
+}
+
+// New returns a runner bound to the data catalog.
+func New(data *storage.Catalog, opts ...Option) (*Runner, error) {
+	if data == nil {
+		return nil, fmt.Errorf("%w: nil data catalog", ErrBadRun)
+	}
+	r := &Runner{data: data, seed: 1}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r, nil
+}
+
+// Report is the outcome of executing one alternative.
+type Report struct {
+	// Campaign and Alternative identify what ran.
+	Campaign    string
+	Alternative string
+	Platform    deployment.Platform
+	// Measured indicator values.
+	Measured sla.Measurement
+	// Evaluation of the measured values against the campaign objectives.
+	Evaluation sla.Evaluation
+	// Compliant mirrors the alternative's compliance outcome.
+	Compliant bool
+	// Details carries per-task diagnostics (model name, confusion matrix…).
+	Details map[string]string
+	// RowsProcessed is the number of rows that reached the analytics step.
+	RowsProcessed int
+	// EngineStats are the dataflow execution statistics.
+	EngineStats dataflow.Stats
+	// ClusterUsage is the resource/cost accounting of the run.
+	ClusterUsage cluster.UsageReport
+	// WallTime is the end-to-end execution time.
+	WallTime time.Duration
+}
+
+// Run executes the alternative's pipeline for the campaign and measures it.
+func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alternative) (*Report, error) {
+	if campaign == nil || alt.Composition == nil || alt.Plan == nil {
+		return nil, fmt.Errorf("%w: campaign and alternative are required", ErrBadRun)
+	}
+	start := time.Now()
+
+	clusterCfg := alt.Plan.ClusterConfig(r.seed, r.failureRate)
+	cl, err := cluster.New(clusterCfg)
+	if err != nil {
+		return nil, fmt.Errorf("runner: build cluster: %w", err)
+	}
+	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(alt.Plan.Parallelism))
+	if err != nil {
+		return nil, fmt.Errorf("runner: build engine: %w", err)
+	}
+
+	table, err := r.data.Lookup(campaign.Goal.TargetTable)
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+
+	dataset, prepDetails, err := r.applyPreparation(campaign, alt.Composition, table)
+	if err != nil {
+		return nil, err
+	}
+
+	step, ok := alt.Composition.AnalyticsStep()
+	if !ok {
+		return nil, fmt.Errorf("%w: composition has no analytics step", ErrBadRun)
+	}
+	prepared, err := engine.Collect(ctx, dataset)
+	if err != nil {
+		return nil, fmt.Errorf("runner: prepare data: %w", err)
+	}
+
+	accuracy, taskDetails, err := r.runAnalytics(ctx, engine, campaign, step, prepared)
+	if err != nil {
+		return nil, err
+	}
+
+	wall := time.Since(start)
+	usage := cl.Usage()
+	rows := len(prepared.Rows)
+
+	measured := sla.Measurement{
+		model.IndicatorAccuracy: accuracy,
+		model.IndicatorLatency:  float64(wall.Milliseconds()),
+		model.IndicatorCost:     measuredCost(alt.Composition, usage, rows),
+		model.IndicatorPrivacy:  alt.Compliance.PrivacyScore,
+	}
+	if wall > 0 {
+		measured[model.IndicatorThroughput] = float64(prepared.Stats.RowsRead) / wall.Seconds()
+	}
+	measured[model.IndicatorFreshness] = freshnessSeconds(alt.Plan.Platform, wall)
+
+	details := map[string]string{}
+	for k, v := range prepDetails {
+		details[k] = v
+	}
+	for k, v := range taskDetails {
+		details[k] = v
+	}
+
+	return &Report{
+		Campaign:      campaign.Name,
+		Alternative:   alt.Fingerprint(),
+		Platform:      alt.Plan.Platform,
+		Measured:      measured,
+		Evaluation:    sla.Evaluate(campaign.Objectives, measured),
+		Compliant:     alt.Compliant(),
+		Details:       details,
+		RowsProcessed: rows,
+		EngineStats:   prepared.Stats,
+		ClusterUsage:  usage,
+		WallTime:      wall,
+	}, nil
+}
+
+// measuredCost combines infrastructure usage cost with the per-record service
+// pricing of the composed services for the rows that were actually processed.
+func measuredCost(comp *procedural.Composition, usage cluster.UsageReport, rows int) float64 {
+	return usage.TotalCost + comp.EstimateCost(rows)
+}
+
+// freshnessSeconds converts wall time into the freshness indicator: batch
+// pipelines deliver results only after the full run, streaming pipelines
+// amortise the work across micro-batches.
+func freshnessSeconds(platform deployment.Platform, wall time.Duration) float64 {
+	switch platform {
+	case deployment.PlatformStreaming:
+		return 1.0 + wall.Seconds()/100
+	default:
+		return wall.Seconds()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Preparation
+// ---------------------------------------------------------------------------
+
+// applyPreparation builds the dataflow plan implementing the composition's
+// preparation steps over the target table.
+func (r *Runner) applyPreparation(campaign *model.Campaign, comp *procedural.Composition, table *storage.Table) (*dataflow.Dataset, map[string]string, error) {
+	details := map[string]string{}
+	d := dataflow.FromTable(table)
+
+	// Columns that must be non-null for the analytics step to work.
+	required := requiredColumns(campaign)
+	schema := table.Schema()
+	for _, col := range required {
+		if !schema.Has(col) {
+			return nil, nil, fmt.Errorf("%w: column %q not in table %q", ErrBadRun, col, table.Name())
+		}
+	}
+
+	for _, step := range comp.StepsByArea(model.AreaPreparation) {
+		switch step.Service.Capability {
+		case "clean_missing":
+			cols := append([]string(nil), required...)
+			d = d.Filter("drop rows with missing required values", func(rec dataflow.Record) (bool, error) {
+				for _, c := range cols {
+					if rec.IsNull(c) {
+						return false, nil
+					}
+				}
+				return true, nil
+			})
+			details["preparation.clean"] = "drop-null on " + strings.Join(cols, ",")
+		case "pseudonymize":
+			d = maskSensitiveColumns(d, schema, pseudonymize)
+			details["preparation.privacy"] = "pseudonymized " + strings.Join(sensitiveColumns(schema), ",")
+		case "anonymize_strict":
+			d = maskSensitiveColumns(d, schema, func(string) string { return "***" })
+			details["preparation.privacy"] = "masked " + strings.Join(sensitiveColumns(schema), ",")
+		case "normalize_features":
+			details["preparation.normalize"] = "features standardised before model fitting"
+		default:
+			// Unknown preparation capabilities are treated as pass-through.
+			details["preparation."+step.Service.Capability] = "pass-through"
+		}
+	}
+	return d, details, nil
+}
+
+// requiredColumns lists the goal columns whose values must be present.
+func requiredColumns(campaign *model.Campaign) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(cols ...string) {
+		for _, c := range cols {
+			if c != "" && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	add(campaign.Goal.FeatureColumns...)
+	add(campaign.Goal.LabelColumn, campaign.Goal.ValueColumn, campaign.Goal.TimeColumn,
+		campaign.Goal.ItemColumn, campaign.Goal.TransactionColumn)
+	add(campaign.Goal.GroupColumns...)
+	return out
+}
+
+// sensitiveColumns returns the string-typed personal/sensitive columns.
+func sensitiveColumns(schema *storage.Schema) []string {
+	var out []string
+	for _, f := range schema.Fields() {
+		if f.Sensitivity >= storage.Personal && f.Type == storage.TypeString {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pseudonymize replaces a value with a stable opaque token.
+func pseudonymize(v string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(v))
+	return fmt.Sprintf("pseu-%016x", h.Sum64())
+}
+
+// maskSensitiveColumns rewrites the sensitive string columns of the dataset
+// using fn.
+func maskSensitiveColumns(d *dataflow.Dataset, schema *storage.Schema, fn func(string) string) *dataflow.Dataset {
+	cols := sensitiveColumns(schema)
+	if len(cols) == 0 {
+		return d
+	}
+	indices := make([]int, len(cols))
+	for i, c := range cols {
+		indices[i] = schema.IndexOf(c)
+	}
+	return d.Map("mask sensitive columns", schema, func(rec dataflow.Record) (storage.Row, error) {
+		row := rec.Row().Clone()
+		for _, idx := range indices {
+			if row[idx] == nil {
+				continue
+			}
+			row[idx] = fn(storage.AsString(row[idx]))
+		}
+		return row, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Analytics dispatch
+// ---------------------------------------------------------------------------
+
+// runAnalytics executes the analytics step over the prepared data and returns
+// the measured accuracy indicator plus diagnostics.
+func (r *Runner) runAnalytics(ctx context.Context, engine *dataflow.Engine, campaign *model.Campaign,
+	step procedural.Step, prepared *dataflow.Result) (float64, map[string]string, error) {
+
+	details := map[string]string{"analytics.service": step.Service.ID}
+	if len(prepared.Rows) == 0 {
+		return 0, details, fmt.Errorf("%w: no rows survived preparation", ErrBadRun)
+	}
+	switch step.Service.Task {
+	case model.TaskClassification:
+		return r.runClassification(campaign, step, prepared, details)
+	case model.TaskClustering:
+		return r.runClustering(campaign, step, prepared, details)
+	case model.TaskAssociation:
+		return r.runAssociation(ctx, engine, campaign, prepared, details)
+	case model.TaskAnomaly:
+		return r.runAnomaly(campaign, step, prepared, details)
+	case model.TaskForecasting:
+		return r.runForecasting(ctx, engine, campaign, step, prepared, details)
+	case model.TaskSessionization:
+		return r.runSessionization(campaign, prepared, details)
+	case model.TaskReporting:
+		return r.runReporting(ctx, engine, campaign, prepared, details)
+	default:
+		return 0, details, fmt.Errorf("%w: %q", ErrUnknownEngine, step.Service.ID)
+	}
+}
+
+func (r *Runner) runClassification(campaign *model.Campaign, step procedural.Step,
+	prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	if campaign.Goal.LabelColumn == "" || len(campaign.Goal.FeatureColumns) == 0 {
+		return 0, details, fmt.Errorf("%w: classification needs label and features", ErrMissingParam)
+	}
+	fs, err := analytics.ExtractFeatures(prepared, campaign.Goal.FeatureColumns, campaign.Goal.LabelColumn)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: extract features: %w", err)
+	}
+	train, test, err := fs.Split(0.3, r.seed)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: split: %w", err)
+	}
+	var clf analytics.Classifier
+	switch step.Service.ID {
+	case "classify-logreg":
+		clf = &analytics.LogisticRegression{}
+	case "classify-nbayes":
+		clf = &analytics.NaiveBayes{}
+	case "classify-stump":
+		clf = &analytics.DecisionStump{}
+	case "classify-majority":
+		clf = &analytics.MajorityClassifier{}
+	default:
+		return 0, details, fmt.Errorf("%w: %q", ErrUnknownEngine, step.Service.ID)
+	}
+	cm, err := analytics.Evaluate(clf, train, test)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: evaluate %s: %w", clf.Name(), err)
+	}
+	details["classification.model"] = clf.Name()
+	details["classification.confusion"] = fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d", cm.TP, cm.FP, cm.TN, cm.FN)
+	details["classification.f1"] = fmt.Sprintf("%.3f", cm.F1())
+	return cm.Accuracy(), details, nil
+}
+
+func (r *Runner) runClustering(campaign *model.Campaign, step procedural.Step,
+	prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	fs, err := analytics.ExtractFeatures(prepared, campaign.Goal.FeatureColumns, "")
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: extract features: %w", err)
+	}
+	k := 3
+	if v, ok := step.Params["k"]; ok {
+		if parsed, perr := parsePositiveInt(v); perr == nil {
+			k = parsed
+		}
+	}
+	if k > len(fs.X) {
+		k = len(fs.X)
+	}
+	km := &analytics.KMeans{K: k, Seed: r.seed}
+	if err := km.Fit(fs.X); err != nil {
+		return 0, details, fmt.Errorf("runner: kmeans: %w", err)
+	}
+	inertiaK, err := km.Inertia(fs.X)
+	if err != nil {
+		return 0, details, err
+	}
+	single := &analytics.KMeans{K: 1, Seed: r.seed}
+	if err := single.Fit(fs.X); err != nil {
+		return 0, details, err
+	}
+	inertia1, err := single.Inertia(fs.X)
+	if err != nil {
+		return 0, details, err
+	}
+	quality := 0.0
+	if inertia1 > 0 {
+		quality = 1 - inertiaK/inertia1
+	}
+	if quality < 0 {
+		quality = 0
+	}
+	details["clustering.k"] = fmt.Sprintf("%d", k)
+	details["clustering.inertia"] = fmt.Sprintf("%.2f", inertiaK)
+	return quality, details, nil
+}
+
+func (r *Runner) runAssociation(ctx context.Context, engine *dataflow.Engine, campaign *model.Campaign,
+	prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	itemCol, txCol := campaign.Goal.ItemColumn, campaign.Goal.TransactionColumn
+	if itemCol == "" || txCol == "" {
+		return 0, details, fmt.Errorf("%w: association needs item and transaction columns", ErrMissingParam)
+	}
+	// Rebuild transactions with a dataflow group-by so the shuffle path is
+	// exercised, then mine rules locally.
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
+	grouped, err := engine.Collect(ctx, src.GroupBy(txCol).Agg(dataflow.CountDistinct(itemCol)))
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: group transactions: %w", err)
+	}
+	transactions := map[string][]string{}
+	txIdx := prepared.Schema.IndexOf(txCol)
+	itemIdx := prepared.Schema.IndexOf(itemCol)
+	for _, row := range prepared.Rows {
+		key := storage.AsString(row[txIdx])
+		transactions[key] = append(transactions[key], storage.AsString(row[itemIdx]))
+	}
+	var txList [][]string
+	for _, items := range transactions {
+		txList = append(txList, items)
+	}
+	apriori := &analytics.Apriori{MinSupport: 0.05, MinConfidence: 0.4}
+	itemsets, rules, err := apriori.Mine(txList)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: apriori: %w", err)
+	}
+	details["association.itemsets"] = fmt.Sprintf("%d", len(itemsets))
+	details["association.rules"] = fmt.Sprintf("%d", len(rules))
+	details["association.baskets"] = fmt.Sprintf("%d", len(grouped.Rows))
+	if len(rules) == 0 {
+		return 0, details, nil
+	}
+	// Quality: mean confidence of the top-10 rules.
+	top := rules
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	sum := 0.0
+	for _, rule := range top {
+		sum += rule.Confidence
+	}
+	return sum / float64(len(top)), details, nil
+}
+
+func (r *Runner) runAnomaly(campaign *model.Campaign, step procedural.Step,
+	prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	if campaign.Goal.ValueColumn == "" {
+		return 0, details, fmt.Errorf("%w: anomaly detection needs a value column", ErrMissingParam)
+	}
+	var values []float64
+	var labels []bool
+	hasLabels := campaign.Goal.LabelColumn != "" && prepared.Schema.Has(campaign.Goal.LabelColumn)
+	for _, rec := range recordsOf(prepared) {
+		values = append(values, rec.Float(campaign.Goal.ValueColumn))
+		if hasLabels {
+			labels = append(labels, rec.Bool(campaign.Goal.LabelColumn))
+		}
+	}
+	var detector analytics.AnomalyDetector
+	switch step.Service.ID {
+	case "detect-zscore":
+		detector = &analytics.ZScoreDetector{}
+	case "detect-iqr":
+		detector = &analytics.IQRDetector{}
+	default:
+		return 0, details, fmt.Errorf("%w: %q", ErrUnknownEngine, step.Service.ID)
+	}
+	var labelArg []bool
+	if hasLabels {
+		labelArg = labels
+	}
+	flagged, cm, err := analytics.DetectAnomalies(detector, values, labelArg)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: detect anomalies: %w", err)
+	}
+	details["anomaly.detector"] = detector.Name()
+	details["anomaly.flagged"] = fmt.Sprintf("%d", len(flagged))
+	if !hasLabels {
+		// Without ground truth, report the flagged fraction as a diagnostic
+		// and fall back to the catalog quality figure.
+		return step.Service.Quality, details, nil
+	}
+	details["anomaly.f1"] = fmt.Sprintf("%.3f", cm.F1())
+	return cm.F1(), details, nil
+}
+
+func (r *Runner) runForecasting(ctx context.Context, engine *dataflow.Engine, campaign *model.Campaign,
+	step procedural.Step, prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	if campaign.Goal.ValueColumn == "" {
+		return 0, details, fmt.Errorf("%w: forecasting needs a value column", ErrMissingParam)
+	}
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
+	ordered := src
+	if campaign.Goal.TimeColumn != "" {
+		ordered = src.Sort(dataflow.SortOrder{Column: campaign.Goal.TimeColumn})
+	}
+	res, err := engine.Collect(ctx, ordered.Project(campaign.Goal.ValueColumn))
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: order series: %w", err)
+	}
+	series := make([]float64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		v, _ := storage.AsFloat(row[0])
+		series = append(series, v)
+	}
+	var forecaster analytics.Forecaster
+	switch step.Service.ID {
+	case "forecast-holtwinters":
+		forecaster = &analytics.HoltWinters{Period: 24}
+	case "forecast-moving-average":
+		forecaster = &analytics.MovingAverageForecaster{Window: 24}
+	default:
+		return 0, details, fmt.Errorf("%w: %q", ErrUnknownEngine, step.Service.ID)
+	}
+	horizon := 24
+	if horizon >= len(series) {
+		horizon = len(series) / 4
+	}
+	if horizon < 1 {
+		return 0, details, fmt.Errorf("%w: series too short for forecasting", ErrBadRun)
+	}
+	rmse, err := analytics.BacktestForecaster(forecaster, series, horizon)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: backtest: %w", err)
+	}
+	details["forecast.model"] = forecaster.Name()
+	details["forecast.rmse"] = fmt.Sprintf("%.4f", rmse)
+	// Accuracy indicator: map RMSE into (0,1], higher is better.
+	return 1 / (1 + rmse), details, nil
+}
+
+func (r *Runner) runSessionization(campaign *model.Campaign, prepared *dataflow.Result,
+	details map[string]string) (float64, map[string]string, error) {
+
+	if campaign.Goal.TimeColumn == "" {
+		return 0, details, fmt.Errorf("%w: sessionization needs a time column", ErrMissingParam)
+	}
+	userCol := "user_id"
+	if !prepared.Schema.Has(userCol) {
+		return 0, details, fmt.Errorf("%w: sessionization expects a user_id column", ErrBadRun)
+	}
+	var events []analytics.Event
+	for _, rec := range recordsOf(prepared) {
+		ts, _ := storage.AsTime(rec.Value(campaign.Goal.TimeColumn))
+		events = append(events, analytics.Event{
+			UserID:    rec.Int(userCol),
+			URL:       rec.String("url"),
+			At:        ts,
+			Converted: campaign.Goal.LabelColumn != "" && rec.Bool(campaign.Goal.LabelColumn),
+		})
+	}
+	sessionizer := &analytics.Sessionizer{Timeout: 30 * time.Minute}
+	sessions, err := sessionizer.Sessionize(events)
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: sessionize: %w", err)
+	}
+	rate := analytics.ConversionRate(sessions)
+	details["sessionization.sessions"] = fmt.Sprintf("%d", len(sessions))
+	details["sessionization.conversion_rate"] = fmt.Sprintf("%.3f", rate)
+	// Quality: coverage of events by sessions (always 1 with this algorithm)
+	// scaled by a sanity factor that sessions are non-degenerate (more events
+	// than sessions).
+	if len(sessions) == 0 || len(events) == 0 {
+		return 0, details, nil
+	}
+	quality := 1.0 - float64(len(sessions))/float64(len(events))
+	if quality < 0 {
+		quality = 0
+	}
+	return quality, details, nil
+}
+
+func (r *Runner) runReporting(ctx context.Context, engine *dataflow.Engine, campaign *model.Campaign,
+	prepared *dataflow.Result, details map[string]string) (float64, map[string]string, error) {
+
+	if len(campaign.Goal.GroupColumns) == 0 || campaign.Goal.ValueColumn == "" {
+		return 0, details, fmt.Errorf("%w: reporting needs group and value columns", ErrMissingParam)
+	}
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
+	report, err := engine.Collect(ctx, src.GroupBy(campaign.Goal.GroupColumns...).Agg(
+		dataflow.Count(),
+		dataflow.Sum(campaign.Goal.ValueColumn),
+		dataflow.Avg(campaign.Goal.ValueColumn),
+	))
+	if err != nil {
+		return 0, details, fmt.Errorf("runner: aggregate report: %w", err)
+	}
+	details["reporting.groups"] = fmt.Sprintf("%d", len(report.Rows))
+	if len(report.Rows) == 0 {
+		return 0, details, nil
+	}
+	// Aggregation is exact; the quality indicator reflects completeness.
+	return 1.0, details, nil
+}
+
+// recordsOf wraps the prepared result rows as records.
+func recordsOf(res *dataflow.Result) []dataflow.Record {
+	return (&dataflow.Result{Schema: res.Schema, Rows: res.Rows}).Records()
+}
+
+func parsePositiveInt(s string) (int, error) {
+	n := 0
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("runner: not a positive integer: %q", s)
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("runner: not a positive integer: %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,209 @@
+// Package sla evaluates measured campaign runs against the declarative
+// objectives: for every objective it reports satisfaction, slack and a
+// partial-credit score, and it aggregates them into the campaign-level score
+// the Labs use to compare alternatives and rank trainee attempts.
+package sla
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Measurement maps indicators to their measured values for one run.
+type Measurement map[model.Indicator]float64
+
+// Merge returns a copy of m overlaid with other (other wins on conflicts).
+func (m Measurement) Merge(other Measurement) Measurement {
+	out := make(Measurement, len(m)+len(other))
+	for k, v := range m {
+		out[k] = v
+	}
+	for k, v := range other {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the measured value and whether it is present.
+func (m Measurement) Get(ind model.Indicator) (float64, bool) {
+	v, ok := m[ind]
+	return v, ok
+}
+
+// String renders the measurement sorted by indicator name.
+func (m Measurement) String() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.4g", k, m[model.Indicator(k)])
+	}
+	return strings.Join(parts, " ")
+}
+
+// ObjectiveResult is the evaluation of a single objective.
+type ObjectiveResult struct {
+	// Objective under evaluation.
+	Objective model.Objective
+	// Measured value of the indicator (0 when missing).
+	Measured float64
+	// Missing reports that the run produced no measurement for the indicator.
+	Missing bool
+	// Satisfied reports whether the objective is met.
+	Satisfied bool
+	// Margin is how far the measurement is from the target in the
+	// "good" direction (positive = satisfied with slack).
+	Margin float64
+	// Score is the partial-credit score in [0,1]: 1 when satisfied, a
+	// target-relative ratio when not.
+	Score float64
+}
+
+// Evaluation aggregates all objective results of one run.
+type Evaluation struct {
+	// Results per objective, in declaration order.
+	Results []ObjectiveResult
+	// Feasible reports whether every hard objective is satisfied.
+	Feasible bool
+	// HardViolations counts unsatisfied hard objectives.
+	HardViolations int
+	// Score is the weighted mean of per-objective scores in [0,1]; campaigns
+	// with no objectives score 1.
+	Score float64
+}
+
+// Satisfied returns the number of satisfied objectives.
+func (e Evaluation) Satisfied() int {
+	n := 0
+	for _, r := range e.Results {
+		if r.Satisfied {
+			n++
+		}
+	}
+	return n
+}
+
+// Evaluate scores the measurement against the objectives.
+func Evaluate(objectives []model.Objective, m Measurement) Evaluation {
+	eval := Evaluation{Feasible: true}
+	if len(objectives) == 0 {
+		eval.Score = 1
+		return eval
+	}
+	weightSum := 0.0
+	weightedScore := 0.0
+	for _, o := range objectives {
+		r := evaluateObjective(o, m)
+		eval.Results = append(eval.Results, r)
+		w := o.EffectiveWeight()
+		weightSum += w
+		weightedScore += w * r.Score
+		if o.Hard && !r.Satisfied {
+			eval.Feasible = false
+			eval.HardViolations++
+		}
+	}
+	if weightSum > 0 {
+		eval.Score = weightedScore / weightSum
+	}
+	return eval
+}
+
+func evaluateObjective(o model.Objective, m Measurement) ObjectiveResult {
+	measured, ok := m.Get(o.Indicator)
+	r := ObjectiveResult{Objective: o, Measured: measured, Missing: !ok}
+	if !ok {
+		// A missing measurement never satisfies an objective.
+		r.Satisfied = false
+		r.Score = 0
+		r.Margin = math.Inf(-1)
+		return r
+	}
+	r.Satisfied = o.Comparison.Satisfied(measured, o.Target)
+	switch o.Comparison {
+	case model.AtLeast:
+		r.Margin = measured - o.Target
+	case model.AtMost:
+		r.Margin = o.Target - measured
+	}
+	r.Score = partialCredit(o, measured)
+	return r
+}
+
+// partialCredit maps a measurement to [0,1]: 1 when the objective is met, and
+// a target-relative ratio otherwise so that near misses score higher than
+// gross misses.
+func partialCredit(o model.Objective, measured float64) float64 {
+	if o.Comparison.Satisfied(measured, o.Target) {
+		return 1
+	}
+	switch o.Comparison {
+	case model.AtLeast:
+		if o.Target <= 0 {
+			return 0
+		}
+		return clamp01(measured / o.Target)
+	case model.AtMost:
+		if measured <= 0 {
+			return 0
+		}
+		return clamp01(o.Target / measured)
+	default:
+		return 0
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Summary renders a one-line-per-objective report used by the CLIs.
+func (e Evaluation) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "score=%.3f feasible=%v satisfied=%d/%d\n", e.Score, e.Feasible, e.Satisfied(), len(e.Results))
+	for _, r := range e.Results {
+		status := "FAIL"
+		if r.Satisfied {
+			status = "ok"
+		}
+		if r.Missing {
+			status = "MISSING"
+		}
+		fmt.Fprintf(&b, "  [%s] %s %s %.4g (measured %.4g, score %.2f)\n",
+			status, r.Objective.Indicator, r.Objective.Comparison, r.Objective.Target, r.Measured, r.Score)
+	}
+	return b.String()
+}
+
+// Compare ranks two evaluations: feasible beats infeasible; among equals the
+// higher score wins. It returns a positive number when a is better, negative
+// when b is better, and 0 for ties.
+func Compare(a, b Evaluation) int {
+	switch {
+	case a.Feasible && !b.Feasible:
+		return 1
+	case !a.Feasible && b.Feasible:
+		return -1
+	}
+	switch {
+	case a.Score > b.Score:
+		return 1
+	case a.Score < b.Score:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,190 @@
+package sla
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func objectives() []model.Objective {
+	return []model.Objective{
+		{Indicator: model.IndicatorAccuracy, Comparison: model.AtLeast, Target: 0.8, Hard: true},
+		{Indicator: model.IndicatorCost, Comparison: model.AtMost, Target: 2.0, Weight: 2},
+		{Indicator: model.IndicatorLatency, Comparison: model.AtMost, Target: 1000},
+	}
+}
+
+func TestEvaluateAllSatisfied(t *testing.T) {
+	m := Measurement{
+		model.IndicatorAccuracy: 0.9,
+		model.IndicatorCost:     1.0,
+		model.IndicatorLatency:  500,
+	}
+	e := Evaluate(objectives(), m)
+	if !e.Feasible || e.HardViolations != 0 {
+		t.Errorf("evaluation = %+v", e)
+	}
+	if e.Score != 1.0 {
+		t.Errorf("score = %v, want 1.0", e.Score)
+	}
+	if e.Satisfied() != 3 {
+		t.Errorf("satisfied = %d, want 3", e.Satisfied())
+	}
+	// Margins carry the slack.
+	if math.Abs(e.Results[0].Margin-0.1) > 1e-9 {
+		t.Errorf("accuracy margin = %v, want 0.1", e.Results[0].Margin)
+	}
+	if math.Abs(e.Results[1].Margin-1.0) > 1e-9 {
+		t.Errorf("cost margin = %v, want 1.0", e.Results[1].Margin)
+	}
+}
+
+func TestEvaluateHardViolation(t *testing.T) {
+	m := Measurement{
+		model.IndicatorAccuracy: 0.6, // below the hard 0.8 target
+		model.IndicatorCost:     1.0,
+		model.IndicatorLatency:  500,
+	}
+	e := Evaluate(objectives(), m)
+	if e.Feasible || e.HardViolations != 1 {
+		t.Errorf("evaluation = %+v", e)
+	}
+	// Partial credit: accuracy scores 0.6/0.8 = 0.75; weighted mean
+	// (1*0.75 + 2*1 + 1*1) / 4 = 0.9375.
+	if math.Abs(e.Score-0.9375) > 1e-9 {
+		t.Errorf("score = %v, want 0.9375", e.Score)
+	}
+}
+
+func TestEvaluateMissingMeasurement(t *testing.T) {
+	m := Measurement{model.IndicatorAccuracy: 0.9}
+	e := Evaluate(objectives(), m)
+	if e.Feasible != true {
+		// Cost and latency objectives are soft; missing them cannot make the
+		// run infeasible.
+		t.Errorf("feasibility = %v, want true", e.Feasible)
+	}
+	for _, r := range e.Results {
+		if r.Objective.Indicator == model.IndicatorCost {
+			if !r.Missing || r.Satisfied || r.Score != 0 {
+				t.Errorf("missing cost result = %+v", r)
+			}
+		}
+	}
+	if e.Score >= 1.0 {
+		t.Errorf("score with missing measurements = %v, want < 1", e.Score)
+	}
+}
+
+func TestEvaluateNoObjectives(t *testing.T) {
+	e := Evaluate(nil, Measurement{})
+	if !e.Feasible || e.Score != 1 || len(e.Results) != 0 {
+		t.Errorf("empty evaluation = %+v", e)
+	}
+}
+
+func TestPartialCreditDirections(t *testing.T) {
+	atLeast := model.Objective{Indicator: model.IndicatorAccuracy, Comparison: model.AtLeast, Target: 0.8}
+	if got := partialCredit(atLeast, 0.4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("partial credit (at least) = %v, want 0.5", got)
+	}
+	atMost := model.Objective{Indicator: model.IndicatorCost, Comparison: model.AtMost, Target: 2}
+	if got := partialCredit(atMost, 4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("partial credit (at most) = %v, want 0.5", got)
+	}
+	if got := partialCredit(atMost, 0); got != 1 {
+		t.Errorf("zero cost must be fully satisfied, got %v", got)
+	}
+	zeroTarget := model.Objective{Indicator: model.IndicatorAccuracy, Comparison: model.AtLeast, Target: 0}
+	if got := partialCredit(zeroTarget, -1); got != 0 {
+		t.Errorf("degenerate target partial credit = %v, want 0", got)
+	}
+}
+
+func TestMeasurementHelpers(t *testing.T) {
+	a := Measurement{model.IndicatorCost: 1}
+	b := Measurement{model.IndicatorCost: 2, model.IndicatorAccuracy: 0.5}
+	merged := a.Merge(b)
+	if merged[model.IndicatorCost] != 2 || merged[model.IndicatorAccuracy] != 0.5 {
+		t.Errorf("merged = %v", merged)
+	}
+	if a[model.IndicatorCost] != 1 {
+		t.Error("Merge must not mutate the receiver")
+	}
+	if v, ok := merged.Get(model.IndicatorCost); !ok || v != 2 {
+		t.Error("Get misbehaves")
+	}
+	if _, ok := merged.Get(model.IndicatorFreshness); ok {
+		t.Error("Get of absent indicator must report !ok")
+	}
+	s := merged.String()
+	if !strings.Contains(s, "accuracy=0.5") || !strings.Contains(s, "cost=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := Measurement{
+		model.IndicatorAccuracy: 0.9,
+		model.IndicatorCost:     3.0,
+	}
+	e := Evaluate(objectives(), m)
+	s := e.Summary()
+	if !strings.Contains(s, "[ok] accuracy") {
+		t.Errorf("summary missing satisfied accuracy:\n%s", s)
+	}
+	if !strings.Contains(s, "[FAIL] cost") {
+		t.Errorf("summary missing failed cost:\n%s", s)
+	}
+	if !strings.Contains(s, "[MISSING] latency_ms") {
+		t.Errorf("summary missing absent latency:\n%s", s)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	feasibleHigh := Evaluation{Feasible: true, Score: 0.9}
+	feasibleLow := Evaluation{Feasible: true, Score: 0.5}
+	infeasible := Evaluation{Feasible: false, Score: 0.99}
+	if Compare(feasibleHigh, feasibleLow) <= 0 {
+		t.Error("higher score must win")
+	}
+	if Compare(feasibleLow, infeasible) <= 0 {
+		t.Error("feasible must beat infeasible regardless of score")
+	}
+	if Compare(infeasible, feasibleLow) >= 0 {
+		t.Error("infeasible must lose")
+	}
+	if Compare(feasibleHigh, feasibleHigh) != 0 {
+		t.Error("equal evaluations must tie")
+	}
+}
+
+// Property: the aggregate score always lies in [0,1] and improving a
+// measurement in its "better" direction never lowers it.
+func TestScoreMonotonicityProperty(t *testing.T) {
+	objs := objectives()
+	f := func(acc, cost uint8) bool {
+		a := float64(acc) / 255
+		c := float64(cost) / 16
+		base := Evaluate(objs, Measurement{
+			model.IndicatorAccuracy: a,
+			model.IndicatorCost:     c,
+			model.IndicatorLatency:  100,
+		})
+		better := Evaluate(objs, Measurement{
+			model.IndicatorAccuracy: a + 0.1,
+			model.IndicatorCost:     c,
+			model.IndicatorLatency:  100,
+		})
+		if base.Score < 0 || base.Score > 1 {
+			return false
+		}
+		return better.Score+1e-9 >= base.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

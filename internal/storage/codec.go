@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the table to w as CSV with a header row. Times are
+// written as Unix milliseconds.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("storage: write csv header: %w", err)
+	}
+	var werr error
+	t.Scan(func(r Row) bool {
+		rec := make([]string, len(r))
+		for i, v := range r {
+			rec[i] = AsString(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = fmt.Errorf("storage: write csv row: %w", err)
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV data with a header row into a new table with the given
+// name and schema. Header columns are matched to schema fields by name; extra
+// CSV columns are ignored, missing non-nullable columns are an error.
+func ReadCSV(r io.Reader, name string, schema *Schema, opts ...TableOption) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read csv header: %w", err)
+	}
+	colIdx := make([]int, schema.Len())
+	for i := range colIdx {
+		colIdx[i] = -1
+	}
+	for pos, col := range header {
+		if idx := schema.IndexOf(col); idx >= 0 {
+			colIdx[idx] = pos
+		}
+	}
+	for i, idx := range colIdx {
+		if idx < 0 && !schema.Field(i).Nullable {
+			return nil, fmt.Errorf("storage: csv is missing required column %q", schema.Field(i).Name)
+		}
+	}
+	table, err := NewTable(name, schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read csv line %d: %w", line, err)
+		}
+		line++
+		row := make(Row, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			pos := colIdx[i]
+			if pos < 0 || pos >= len(rec) || rec[pos] == "" {
+				row[i] = nil
+				continue
+			}
+			v, err := parseCell(schema.Field(i).Type, rec[pos])
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv line %d field %q: %w", line, schema.Field(i).Name, err)
+			}
+			row[i] = v
+		}
+		if err := table.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+func parseCell(t FieldType, s string) (Value, error) {
+	switch t {
+	case TypeString:
+		return s, nil
+	case TypeInt, TypeTime:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse int %q: %w", s, err)
+		}
+		return i, nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse float %q: %w", s, err)
+		}
+		return f, nil
+	case TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("parse bool %q: %w", s, err)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("unsupported field type %v", t)
+	}
+}
+
+// jsonRecord is the on-wire representation used by WriteJSON / ReadJSON.
+type jsonRecord map[string]any
+
+// WriteJSON serialises the table as newline-delimited JSON objects.
+func WriteJSON(w io.Writer, t *Table) error {
+	enc := json.NewEncoder(w)
+	names := t.Schema().Names()
+	var werr error
+	t.Scan(func(r Row) bool {
+		obj := make(jsonRecord, len(r))
+		for i, v := range r {
+			obj[names[i]] = v
+		}
+		if err := enc.Encode(obj); err != nil {
+			werr = fmt.Errorf("storage: write json row: %w", err)
+			return false
+		}
+		return true
+	})
+	return werr
+}
+
+// ReadJSON parses newline-delimited JSON objects into a new table. Numeric
+// JSON values are coerced to the schema's declared type.
+func ReadJSON(r io.Reader, name string, schema *Schema, opts ...TableOption) (*Table, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	table, err := NewTable(name, schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	line := 0
+	for {
+		var obj jsonRecord
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("storage: read json record %d: %w", line, err)
+		}
+		line++
+		row := make(Row, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			f := schema.Field(i)
+			raw, ok := obj[f.Name]
+			if !ok || raw == nil {
+				row[i] = nil
+				continue
+			}
+			v, err := coerceJSON(f.Type, raw)
+			if err != nil {
+				return nil, fmt.Errorf("storage: json record %d field %q: %w", line, f.Name, err)
+			}
+			row[i] = v
+		}
+		if err := table.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+func coerceJSON(t FieldType, raw any) (Value, error) {
+	switch x := raw.(type) {
+	case json.Number:
+		switch t {
+		case TypeInt, TypeTime:
+			i, err := x.Int64()
+			if err != nil {
+				f, ferr := x.Float64()
+				if ferr != nil {
+					return nil, fmt.Errorf("parse number %q: %w", x.String(), err)
+				}
+				return int64(f), nil
+			}
+			return i, nil
+		case TypeFloat:
+			f, err := x.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("parse number %q: %w", x.String(), err)
+			}
+			return f, nil
+		case TypeString:
+			return x.String(), nil
+		case TypeBool:
+			f, err := x.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("parse number %q: %w", x.String(), err)
+			}
+			return f != 0, nil
+		}
+	case string:
+		return parseCell(t, x)
+	case bool:
+		return Coerce(t, x)
+	}
+	return nil, fmt.Errorf("unsupported json value %T", raw)
+}

@@ -1,0 +1,152 @@
+package toreador
+
+import (
+	"context"
+	"testing"
+)
+
+// churnCampaign is the canonical campaign used across the facade tests.
+func churnCampaign() *Campaign {
+	return &Campaign{
+		Name:     "churn",
+		Vertical: string(VerticalTelco),
+		Goal: Goal{
+			Task:           TaskClassification,
+			TargetTable:    "telco_customers",
+			LabelColumn:    "churned",
+			FeatureColumns: []string{"tenure_months", "support_calls", "dropped_calls", "monthly_charge"},
+		},
+		Sources: []DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Objectives: []Objective{
+			{Indicator: IndicatorAccuracy, Comparison: AtLeast, Target: 0.65, Hard: true},
+			{Indicator: IndicatorCost, Comparison: AtMost, Target: 5},
+		},
+		Regime: RegimePseudonymize,
+	}
+}
+
+func newTelcoPlatform(t *testing.T, cfg Config) *Platform {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterScenario(VerticalTelco, Sizing{Customers: 300, Meters: 1, Days: 1, Users: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformEndToEnd(t *testing.T) {
+	p := newTelcoPlatform(t, Config{Seed: 5})
+	if len(p.Tables()) == 0 {
+		t.Fatal("scenario registration must add tables")
+	}
+	campaign := churnCampaign()
+	result, report, err := p.Execute(context.Background(), campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Chosen.Compliant() {
+		t.Error("chosen alternative must be compliant")
+	}
+	if acc, _ := report.Measured.Get(IndicatorAccuracy); acc < 0.6 {
+		t.Errorf("measured accuracy = %v, want >= 0.6", acc)
+	}
+	if !report.Evaluation.Feasible {
+		t.Errorf("hard objectives not met:\n%s", report.Evaluation.Summary())
+	}
+}
+
+func TestPlatformAlternativesAndPlanning(t *testing.T) {
+	p := newTelcoPlatform(t, Config{Seed: 5})
+	campaign := churnCampaign()
+	alternatives, err := p.Alternatives(campaign)
+	if err != nil || len(alternatives) < 10 {
+		t.Fatalf("alternatives = %d, %v", len(alternatives), err)
+	}
+	decision, err := p.Plan(campaign, StrategyExhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decision.Explored != len(alternatives) {
+		t.Errorf("exhaustive planning explored %d of %d", decision.Explored, len(alternatives))
+	}
+	points, err := p.Interference(campaign)
+	if err != nil || len(points) != 4 {
+		t.Fatalf("interference points = %d, %v", len(points), err)
+	}
+	variant := campaign.Clone()
+	variant.Name = "churn-strict"
+	variant.Regime = RegimeStrict
+	diff, err := p.WhatIf(campaign, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.ChangedServices) == 0 {
+		t.Error("regime change must alter the chosen services")
+	}
+}
+
+func TestPlatformPersistence(t *testing.T) {
+	dir := t.TempDir()
+	p := newTelcoPlatform(t, Config{Seed: 5, RepositoryDir: dir})
+	campaign := churnCampaign()
+	if _, _, err := p.Execute(context.Background(), campaign); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := p.Runs("churn")
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("persisted runs = %d, %v", len(runs), err)
+	}
+	if runs[0].Score <= 0 || !runs[0].Compliant {
+		t.Errorf("persisted run = %+v", runs[0])
+	}
+	// A platform without a repository refuses to list runs.
+	noRepo := newTelcoPlatform(t, Config{Seed: 5})
+	if _, err := noRepo.Runs("churn"); err == nil {
+		t.Error("Runs without repository must fail")
+	}
+}
+
+func TestOpenLabFacade(t *testing.T) {
+	lab, err := OpenLab(3, Sizing{Customers: 200, Meters: 2, Days: 2, Users: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Challenges()) != 5 || len(BuiltinChallenges()) != 5 {
+		t.Fatal("labs must expose the five built-in challenges")
+	}
+	session := NewLabSession(lab)
+	attempt, err := session.Submit(context.Background(), "alice", "retail-baskets", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := CompareAttempts([]*Attempt{attempt})
+	if len(rows) != 1 || rows[0].Trainee != "alice" {
+		t.Errorf("comparison rows = %+v", rows)
+	}
+	board := session.Leaderboard()
+	if len(board) != 1 || board[0].Trainee != "alice" {
+		t.Errorf("leaderboard = %+v", board)
+	}
+}
+
+func TestRegisterTableDirectly(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register a raw table via the storage-facing API and target it.
+	sc, err := p.RegisterScenario(VerticalRetail, Sizing{Customers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sc.Table("retail_baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterTable(tbl); err == nil {
+		t.Error("re-registering the same table name must fail")
+	}
+}
