@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet examples ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One full pass over every benchmark with allocation stats; CI runs the same
+# command with -benchtime=1x as a smoke test.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Fails (listing the offending files) when any file needs reformatting.
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Compiles every example main so API drift in the public surface is caught
+# even before their smoke tests run.
+examples:
+	$(GO) build ./examples/...
+
+ci: fmt vet build examples race

@@ -12,9 +12,12 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
 	"repro/internal/experiments"
 	"repro/internal/labs"
 	"repro/internal/planner"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -327,6 +330,110 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		if _, err := gen.Generate(workload.VerticalTelco, workload.Sizing{Customers: 800, Meters: 1, Days: 1, Users: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage-compiler benchmarks (DESIGN.md §2.3): fused vs per-operator execution
+// of narrow chains, and map-side combined vs row-at-a-time group-by.
+// ---------------------------------------------------------------------------
+
+// stageBenchEngine builds an engine over a fresh 2x2 cluster with the stage
+// compiler and map-side combine either both on or both off.
+func stageBenchEngine(b *testing.B, optimized bool) *dataflow.Engine {
+	b.Helper()
+	c, err := cluster.New(cluster.Uniform(2, 2, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := dataflow.NewEngine(c,
+		dataflow.WithFusion(optimized),
+		dataflow.WithMapSideCombine(optimized))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func stageBenchRows(n int) (*storage.Schema, []storage.Row) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i % 50), float64(i%1000) / 10}
+	}
+	return schema, rows
+}
+
+// BenchmarkNarrowChain executes a 4-operator narrow chain with the stage
+// compiler fused into one cluster job per action ("fused") and with one job
+// plus a full intermediate materialisation per operator ("unfused"). The
+// tasks/op metric shows the scheduling difference: 8 fused vs 32 unfused.
+func BenchmarkNarrowChain(b *testing.B) {
+	const rows = 100_000
+	schema, data := stageBenchRows(rows)
+	plan := dataflow.FromRows("bench", schema, data, 8).
+		Filter("v >= 5", func(r dataflow.Record) (bool, error) { return r.Float("v") >= 5, nil }).
+		Filter("k not multiple of 7", func(r dataflow.Record) (bool, error) { return r.Int("k")%7 != 0, nil }).
+		Sample(0.9, 42).
+		Filter("v < 95", func(r dataflow.Record) (bool, error) { return r.Float("v") < 95, nil })
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name      string
+		optimized bool
+	}{{"fused", true}, {"unfused", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := stageBenchEngine(b, mode.optimized)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Collect(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.Tasks), "tasks/op")
+			b.ReportMetric(float64(last.Stats.FusedStages), "fused_stages/op")
+		})
+	}
+}
+
+// BenchmarkGroupByCombine aggregates 50k rows over 50 keys with and without
+// the map-side combine pass. The shuffled_rows metric shows the traffic
+// difference: at most partitions×keys partial groups cross the shuffle when
+// combining, versus every input row without it.
+func BenchmarkGroupByCombine(b *testing.B) {
+	const rows = 50_000
+	schema, data := stageBenchRows(rows)
+	plan := dataflow.FromRows("bench", schema, data, 8).
+		GroupBy("k").
+		Agg(dataflow.Count(), dataflow.Sum("v"), dataflow.Avg("v"))
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name      string
+		optimized bool
+	}{{"combined", true}, {"uncombined", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := stageBenchEngine(b, mode.optimized)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Collect(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.ShuffledRows), "shuffled_rows/op")
+			b.ReportMetric(float64(last.Stats.CombinedRows), "combined_rows/op")
+		})
 	}
 }
 

@@ -9,10 +9,12 @@
 //	toreador-bench                 # all experiments, default sizing
 //	toreador-bench -only table2    # a single experiment
 //	toreador-bench -customers 5000 # larger synthetic datasets
+//	toreador-bench -json           # machine-readable output (CI artifacts)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,9 @@ func main() {
 	}
 }
 
+// renderable is the common surface of the experiment result types.
+type renderable interface{ String() string }
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("toreador-bench", flag.ContinueOnError)
 	var (
@@ -40,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		users     = fs.Int("users", 150, "scenario sizing: clickstream users")
 		attempts  = fs.Int("attempts", 5, "attempts per simulated trainee (figure 4)")
 		only      = fs.String("only", "", "run a single experiment: table1|table2|table3|table4|figure1|figure2|figure3|figure4")
+		asJSON    = fs.Bool("json", false, "emit results as a single JSON object keyed by experiment name")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,74 +60,46 @@ func run(args []string, out io.Writer) error {
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
 	}
-	ran := 0
 
-	if want("table1") {
-		t, err := experiments.RunTable1(env)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, t.String())
-		ran++
+	// Experiments run in publication order; results are rendered as text or
+	// collected into one JSON document for the CI bench artifact.
+	runs := []struct {
+		name string
+		fn   func() (renderable, error)
+	}{
+		{"table1", func() (renderable, error) { return experiments.RunTable1(env) }},
+		{"table2", func() (renderable, error) { return experiments.RunTable2(ctx, env) }},
+		{"figure1", func() (renderable, error) { return experiments.RunFigure1(env) }},
+		{"figure2", func() (renderable, error) { return experiments.RunFigure2(ctx, env, nil, nil) }},
+		{"table3", func() (renderable, error) { return experiments.RunTable3(env) }},
+		{"figure3", func() (renderable, error) { return experiments.RunFigure3(env, nil) }},
+		{"table4", func() (renderable, error) { return experiments.RunTable4(ctx, env) }},
+		{"figure4", func() (renderable, error) { return experiments.RunFigure4(ctx, env, *attempts) }},
 	}
-	if want("table2") {
-		t, err := experiments.RunTable2(ctx, env)
+	results := map[string]renderable{}
+	ran := 0
+	for _, r := range runs {
+		if !want(r.name) {
+			continue
+		}
+		res, err := r.fn()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, t.String())
-		ran++
-	}
-	if want("figure1") {
-		f, err := experiments.RunFigure1(env)
-		if err != nil {
-			return err
+		if *asJSON {
+			results[r.name] = res
+		} else {
+			fmt.Fprintln(out, res.String())
 		}
-		fmt.Fprintln(out, f.String())
-		ran++
-	}
-	if want("figure2") {
-		f, err := experiments.RunFigure2(ctx, env, nil, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, f.String())
-		ran++
-	}
-	if want("table3") {
-		t, err := experiments.RunTable3(env)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, t.String())
-		ran++
-	}
-	if want("figure3") {
-		f, err := experiments.RunFigure3(env, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, f.String())
-		ran++
-	}
-	if want("table4") {
-		t, err := experiments.RunTable4(ctx, env)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, t.String())
-		ran++
-	}
-	if want("figure4") {
-		f, err := experiments.RunFigure4(ctx, env, *attempts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, f.String())
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }

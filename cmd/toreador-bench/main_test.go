@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,23 @@ func TestBenchCLICheapExperiments(t *testing.T) {
 		if len(out) == 0 {
 			t.Errorf("%s produced no output", only)
 		}
+	}
+}
+
+func TestBenchCLIJSONOutput(t *testing.T) {
+	out, err := runBenchCLI(t, smallArgs("-only", "table1", "-json")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if _, ok := doc["table1"]; !ok {
+		t.Errorf("JSON document missing table1 key: %v", out)
+	}
+	if len(doc) != 1 {
+		t.Errorf("-only table1 -json must emit exactly one experiment, got %d", len(doc))
 	}
 }
 

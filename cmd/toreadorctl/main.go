@@ -6,6 +6,7 @@
 //
 //	toreadorctl -scenario telco -campaign campaign.json compile
 //	toreadorctl -scenario telco -campaign campaign.json run
+//	toreadorctl -scenario telco -campaign campaign.json explain
 //	toreadorctl -scenario telco -campaign campaign.json alternatives
 //	toreadorctl -scenario telco -campaign campaign.json interference
 //	toreadorctl -scenario telco -campaign campaign.json plan -strategy greedy
@@ -48,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("missing command: one of compile, run, alternatives, interference, plan")
+		return fmt.Errorf("missing command: one of compile, run, explain, alternatives, interference, plan")
 	}
 	command := fs.Arg(0)
 	if *campaign == "" {
@@ -86,6 +87,8 @@ func run(args []string, out io.Writer) error {
 		return doCompile(out, platform, c)
 	case "run":
 		return doRun(ctx, out, platform, c)
+	case "explain":
+		return doExplain(out, platform, c)
 	case "alternatives":
 		return doAlternatives(out, platform, c)
 	case "interference":
@@ -152,6 +155,21 @@ func doRun(ctx context.Context, out io.Writer, platform *toreador.Platform, c *t
 	for k, v := range report.Details {
 		fmt.Fprintf(out, "  %-28s %s\n", k, v)
 	}
+	return nil
+}
+
+func doExplain(out io.Writer, platform *toreador.Platform, c *toreador.Campaign) error {
+	result, err := platform.Compile(c)
+	if err != nil {
+		return err
+	}
+	plan, err := platform.ExplainPipeline(c, result.Chosen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign: %s\n", c.Name)
+	fmt.Fprintf(out, "chosen:   %s\n\n", result.Chosen.Fingerprint())
+	fmt.Fprint(out, plan)
 	return nil
 }
 

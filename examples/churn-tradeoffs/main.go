@@ -9,19 +9,29 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	toreador "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its report to out. It is
+// split from main so the smoke test can exercise the whole workflow.
+func run(out io.Writer) error {
 	platform, err := toreador.New(toreador.Config{Seed: 7})
 	if err != nil {
-		log.Fatalf("create platform: %v", err)
+		return fmt.Errorf("create platform: %w", err)
 	}
 	if _, err := platform.RegisterScenario(toreador.VerticalTelco, toreador.Sizing{Customers: 1500}); err != nil {
-		log.Fatalf("register scenario: %v", err)
+		return fmt.Errorf("register scenario: %w", err)
 	}
 
 	campaign := &toreador.Campaign{
@@ -44,9 +54,9 @@ func main() {
 
 	alternatives, err := platform.Alternatives(campaign)
 	if err != nil {
-		log.Fatalf("enumerate alternatives: %v", err)
+		return fmt.Errorf("enumerate alternatives: %w", err)
 	}
-	fmt.Printf("design space: %d alternatives\n\n", len(alternatives))
+	fmt.Fprintf(out, "design space: %d alternatives\n\n", len(alternatives))
 
 	// Run one compliant alternative per analytics service (the trainee's
 	// "what happens if I pick a different classifier?" question).
@@ -73,7 +83,7 @@ func main() {
 		seen[step.Service.ID] = true
 		report, err := platform.Run(ctx, campaign, alt)
 		if err != nil {
-			log.Fatalf("run %s: %v", alt.Fingerprint(), err)
+			return fmt.Errorf("run %s: %w", alt.Fingerprint(), err)
 		}
 		acc, _ := report.Measured.Get(toreador.IndicatorAccuracy)
 		cost, _ := report.Measured.Get(toreador.IndicatorCost)
@@ -87,18 +97,19 @@ func main() {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
 
-	fmt.Println("alternative comparison (one run per classifier, same data, same objectives):")
-	fmt.Printf("%-22s %9s %9s %11s %9s %7s %s\n", "analytics service", "accuracy", "cost", "latency_ms", "privacy", "score", "feasible")
+	fmt.Fprintln(out, "alternative comparison (one run per classifier, same data, same objectives):")
+	fmt.Fprintf(out, "%-22s %9s %9s %11s %9s %7s %s\n", "analytics service", "accuracy", "cost", "latency_ms", "privacy", "score", "feasible")
 	for _, r := range rows {
-		fmt.Printf("%-22s %9.3f %9.4f %11.1f %9.2f %7.3f %v\n",
+		fmt.Fprintf(out, "%-22s %9.3f %9.4f %11.1f %9.2f %7.3f %v\n",
 			r.service, r.accuracy, r.cost, r.latency, r.privacy, r.score, r.feasible)
 	}
 
 	// Finally, show what the platform itself would have picked.
 	decision, err := platform.Plan(campaign, toreador.StrategyExhaustive)
 	if err != nil {
-		log.Fatalf("plan: %v", err)
+		return fmt.Errorf("plan: %w", err)
 	}
-	fmt.Printf("\nplatform recommendation: %s (estimated score %.3f, explored %d/%d alternatives)\n",
+	fmt.Fprintf(out, "\nplatform recommendation: %s (estimated score %.3f, explored %d/%d alternatives)\n",
 		decision.Chosen.Fingerprint(), decision.Score, decision.Explored, decision.TotalAlternatives)
+	return nil
 }

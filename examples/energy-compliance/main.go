@@ -7,18 +7,28 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	toreador "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its report to out. It is
+// split from main so the smoke test can exercise the whole workflow.
+func run(out io.Writer) error {
 	platform, err := toreador.New(toreador.Config{Seed: 19})
 	if err != nil {
-		log.Fatalf("create platform: %v", err)
+		return fmt.Errorf("create platform: %w", err)
 	}
 	if _, err := platform.RegisterScenario(toreador.VerticalEnergy, toreador.Sizing{Meters: 20, Days: 14}); err != nil {
-		log.Fatalf("register scenario: %v", err)
+		return fmt.Errorf("register scenario: %w", err)
 	}
 
 	campaign := &toreador.Campaign{
@@ -43,13 +53,13 @@ func main() {
 	// Interference analysis: sweep the regime and count surviving options.
 	points, err := platform.Interference(campaign)
 	if err != nil {
-		log.Fatalf("interference: %v", err)
+		return fmt.Errorf("interference: %w", err)
 	}
-	fmt.Println("=== interference of the privacy regime on the other design stages ===")
-	fmt.Printf("%-14s %12s %10s %12s %10s %10s %10s\n",
+	fmt.Fprintln(out, "=== interference of the privacy regime on the other design stages ===")
+	fmt.Fprintf(out, "%-14s %12s %10s %12s %10s %10s %10s\n",
 		"regime", "alternatives", "compliant", "preparation", "analytics", "display", "platforms")
 	for _, p := range points {
-		fmt.Printf("%-14s %12d %10d %12d %10d %10d %10d\n",
+		fmt.Fprintf(out, "%-14s %12d %10d %12d %10d %10d %10d\n",
 			p.Regime, p.TotalAlternatives, p.CompliantAlternatives,
 			p.PreparationOptions, p.AnalyticsOptions, p.DisplayOptions, p.PlatformOptions)
 	}
@@ -57,15 +67,16 @@ func main() {
 	// Compile and run under the strict regime.
 	result, report, err := platform.Execute(context.Background(), campaign)
 	if err != nil {
-		log.Fatalf("execute: %v", err)
+		return fmt.Errorf("execute: %w", err)
 	}
-	fmt.Printf("\nchosen pipeline under %q: %s\n", campaign.Regime, result.Chosen.Fingerprint())
-	fmt.Println("\ncompliance obligations attached to the run:")
+	fmt.Fprintf(out, "\nchosen pipeline under %q: %s\n", campaign.Regime, result.Chosen.Fingerprint())
+	fmt.Fprintln(out, "\ncompliance obligations attached to the run:")
 	for _, o := range result.Chosen.Compliance.Obligations {
-		fmt.Printf("  - %s\n", o)
+		fmt.Fprintf(out, "  - %s\n", o)
 	}
-	fmt.Println("\nmeasured indicators:")
-	fmt.Printf("  %s\n", report.Measured)
-	fmt.Println("\nobjective evaluation:")
-	fmt.Print(report.Evaluation.Summary())
+	fmt.Fprintln(out, "\nmeasured indicators:")
+	fmt.Fprintf(out, "  %s\n", report.Measured)
+	fmt.Fprintln(out, "\nobjective evaluation:")
+	fmt.Fprint(out, report.Evaluation.Summary())
+	return nil
 }

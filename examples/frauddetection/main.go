@@ -7,18 +7,28 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	toreador "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its report to out. It is
+// split from main so the smoke test can exercise the whole workflow.
+func run(out io.Writer) error {
 	platform, err := toreador.New(toreador.Config{Seed: 11})
 	if err != nil {
-		log.Fatalf("create platform: %v", err)
+		return fmt.Errorf("create platform: %w", err)
 	}
 	if _, err := platform.RegisterScenario(toreador.VerticalFinance, toreador.Sizing{Customers: 3000}); err != nil {
-		log.Fatalf("register scenario: %v", err)
+		return fmt.Errorf("register scenario: %w", err)
 	}
 
 	base := &toreador.Campaign{
@@ -49,29 +59,30 @@ func main() {
 
 	diff, err := platform.WhatIf(base, variant)
 	if err != nil {
-		log.Fatalf("what-if: %v", err)
+		return fmt.Errorf("what-if: %w", err)
 	}
 
-	fmt.Println("=== fraud detection: batch vs streaming deployment ===")
-	fmt.Printf("batch choice:     %s\n", diff.Base.Chosen.Fingerprint())
-	fmt.Printf("streaming choice: %s\n", diff.Variant.Chosen.Fingerprint())
-	fmt.Println("\nestimated indicator deltas (streaming - batch):")
+	fmt.Fprintln(out, "=== fraud detection: batch vs streaming deployment ===")
+	fmt.Fprintf(out, "batch choice:     %s\n", diff.Base.Chosen.Fingerprint())
+	fmt.Fprintf(out, "streaming choice: %s\n", diff.Variant.Chosen.Fingerprint())
+	fmt.Fprintln(out, "\nestimated indicator deltas (streaming - batch):")
 	for ind, delta := range diff.Deltas {
-		fmt.Printf("  %-20s %+.4f\n", ind, delta)
+		fmt.Fprintf(out, "  %-20s %+.4f\n", ind, delta)
 	}
-	fmt.Printf("\nservices changed: %v\n", diff.ChangedServices)
+	fmt.Fprintf(out, "\nservices changed: %v\n", diff.ChangedServices)
 
 	// Execute both chosen pipelines to confirm the estimates with measured runs.
 	ctx := context.Background()
 	for _, c := range []*toreador.Campaign{base, variant} {
 		result, report, err := platform.Execute(ctx, c)
 		if err != nil {
-			log.Fatalf("execute %s: %v", c.Name, err)
+			return fmt.Errorf("execute %s: %w", c.Name, err)
 		}
 		fresh, _ := report.Measured.Get(toreador.IndicatorFreshness)
 		f1, _ := report.Measured.Get(toreador.IndicatorAccuracy)
 		cost, _ := report.Measured.Get(toreador.IndicatorCost)
-		fmt.Printf("\n%s (measured on %s): detection F1 %.3f, freshness %.2fs, cost %.4f, feasible=%v\n",
+		fmt.Fprintf(out, "\n%s (measured on %s): detection F1 %.3f, freshness %.2fs, cost %.4f, feasible=%v\n",
 			c.Name, result.Chosen.Plan.Platform, f1, fresh, cost, report.Evaluation.Feasible)
 	}
+	return nil
 }

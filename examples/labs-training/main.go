@@ -8,22 +8,32 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	toreador "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its report to out. It is
+// split from main so the smoke test can exercise the whole workflow.
+func run(out io.Writer) error {
 	lab, err := toreador.OpenLab(29, toreador.Sizing{Customers: 800, Meters: 5, Days: 5, Users: 120})
 	if err != nil {
-		log.Fatalf("open lab: %v", err)
+		return fmt.Errorf("open lab: %w", err)
 	}
 
-	fmt.Println("=== TOREADOR Labs challenge catalog ===")
+	fmt.Fprintln(out, "=== TOREADOR Labs challenge catalog ===")
 	for _, ch := range lab.Challenges() {
 		alternatives, err := lab.Alternatives(ch.ID)
 		if err != nil {
-			log.Fatalf("alternatives for %s: %v", ch.ID, err)
+			return fmt.Errorf("alternatives for %s: %w", ch.ID, err)
 		}
 		compliant := 0
 		for _, a := range alternatives {
@@ -31,10 +41,10 @@ func main() {
 				compliant++
 			}
 		}
-		fmt.Printf("\n[%s] %s\n", ch.ID, ch.Title)
-		fmt.Printf("  vertical: %s | regime: %s | alternatives: %d (%d compliant)\n",
+		fmt.Fprintf(out, "\n[%s] %s\n", ch.ID, ch.Title)
+		fmt.Fprintf(out, "  vertical: %s | regime: %s | alternatives: %d (%d compliant)\n",
 			ch.Vertical, ch.Campaign.Regime, len(alternatives), compliant)
-		fmt.Printf("  trainee choices: %v\n", ch.DegreesOfFreedom)
+		fmt.Fprintf(out, "  trainee choices: %v\n", ch.DegreesOfFreedom)
 	}
 
 	// A short training session on the churn challenge: alice follows the
@@ -43,7 +53,7 @@ func main() {
 	session := toreador.NewLabSession(lab)
 	alternatives, err := lab.Alternatives("telco-churn")
 	if err != nil {
-		log.Fatalf("alternatives: %v", err)
+		return fmt.Errorf("alternatives: %w", err)
 	}
 	guidedOrder := []int{}
 	randomOrder := []int{}
@@ -54,45 +64,46 @@ func main() {
 	}
 	randomOrder = append(randomOrder, 0, len(alternatives)/2)
 
-	fmt.Println("\n=== training session: telco-churn ===")
+	fmt.Fprintln(out, "\n=== training session: telco-churn ===")
 	for _, idx := range guidedOrder {
 		attempt, err := session.Submit(ctx, "alice", "telco-churn", idx)
 		if err != nil {
-			log.Fatalf("alice attempt: %v", err)
+			return fmt.Errorf("alice attempt: %w", err)
 		}
-		fmt.Printf("alice attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
+		fmt.Fprintf(out, "alice attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
 	}
 	for _, idx := range randomOrder {
 		attempt, err := session.Submit(ctx, "bob", "telco-churn", idx)
 		if err != nil {
-			log.Fatalf("bob attempt: %v", err)
+			return fmt.Errorf("bob attempt: %w", err)
 		}
-		fmt.Printf("bob   attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
+		fmt.Fprintf(out, "bob   attempt %d: %-70s score %.3f\n", attempt.Number, attempt.Fingerprint, attempt.Score)
 	}
 
-	fmt.Println("\nside-by-side comparison of all runs (best first):")
+	fmt.Fprintln(out, "\nside-by-side comparison of all runs (best first):")
 	for _, row := range toreador.CompareAttempts(session.Attempts()) {
-		fmt.Printf("  %-6s score=%.3f compliant=%-5v feasible=%-5v %s\n",
+		fmt.Fprintf(out, "  %-6s score=%.3f compliant=%-5v feasible=%-5v %s\n",
 			row.Trainee, row.Score, row.Compliant, row.Feasible, row.Measured)
 	}
 
-	fmt.Println("\nleaderboard:")
+	fmt.Fprintln(out, "\nleaderboard:")
 	for rank, entry := range session.Leaderboard() {
-		fmt.Printf("  %d. %-8s best-total=%.3f over %d challenge(s), %d attempts\n",
+		fmt.Fprintf(out, "  %d. %-8s best-total=%.3f over %d challenge(s), %d attempts\n",
 			rank+1, entry.Trainee, entry.BestTotal, entry.Challenges, entry.Attempts)
 	}
 
 	// Learning curves: guided vs random trial-and-error on the same challenge.
-	fmt.Println("\nlearning curves (best score after k attempts):")
+	fmt.Fprintln(out, "\nlearning curves (best score after k attempts):")
 	for _, strategy := range []toreador.TraineeStrategy{toreador.TraineeGuided, toreador.TraineeRandom} {
 		curve, err := lab.SimulateTrainee(ctx, "telco-churn", strategy, 4, 29)
 		if err != nil {
-			log.Fatalf("simulate %s: %v", strategy, err)
+			return fmt.Errorf("simulate %s: %w", strategy, err)
 		}
-		fmt.Printf("  %-8s", strategy)
+		fmt.Fprintf(out, "  %-8s", strategy)
 		for _, v := range curve {
-			fmt.Printf(" %.3f", v)
+			fmt.Fprintf(out, " %.3f", v)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }

@@ -7,20 +7,30 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	toreador "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its report to out. It is
+// split from main so the smoke test can exercise the whole workflow.
+func run(out io.Writer) error {
 	platform, err := toreador.New(toreador.Config{Seed: 42})
 	if err != nil {
-		log.Fatalf("create platform: %v", err)
+		return fmt.Errorf("create platform: %w", err)
 	}
 
 	// Register the telco vertical scenario (synthetic subscriber data).
 	if _, err := platform.RegisterScenario(toreador.VerticalTelco, toreador.Sizing{Customers: 2000}); err != nil {
-		log.Fatalf("register scenario: %v", err)
+		return fmt.Errorf("register scenario: %w", err)
 	}
 
 	// Declare the campaign: business goal, data, objectives, privacy regime.
@@ -46,28 +56,29 @@ func main() {
 	// The BDAaaS function: declarative model in, executed pipeline out.
 	result, report, err := platform.Execute(context.Background(), campaign)
 	if err != nil {
-		log.Fatalf("execute campaign: %v", err)
+		return fmt.Errorf("execute campaign: %w", err)
 	}
 
-	fmt.Println("=== TOREADOR quickstart: telco churn campaign ===")
-	fmt.Printf("design space:        %d alternatives (%d compliant)\n",
+	fmt.Fprintln(out, "=== TOREADOR quickstart: telco churn campaign ===")
+	fmt.Fprintf(out, "design space:        %d alternatives (%d compliant)\n",
 		len(result.Alternatives), len(result.CompliantAlternatives()))
-	fmt.Printf("chosen pipeline:     %s\n", result.Chosen.Fingerprint())
-	fmt.Printf("deployment:          %s, parallelism %d, %d nodes x %d slots\n",
+	fmt.Fprintf(out, "chosen pipeline:     %s\n", result.Chosen.Fingerprint())
+	fmt.Fprintf(out, "deployment:          %s, parallelism %d, %d nodes x %d slots\n",
 		result.Chosen.Plan.Platform, result.Chosen.Plan.Parallelism,
 		result.Chosen.Plan.Nodes, result.Chosen.Plan.SlotsPerNode)
-	fmt.Printf("compilation phases:  validate=%s match=%s compose=%s comply=%s bind=%s\n",
+	fmt.Fprintf(out, "compilation phases:  validate=%s match=%s compose=%s comply=%s bind=%s\n",
 		result.Timings.Validate, result.Timings.Match, result.Timings.Compose,
 		result.Timings.Comply, result.Timings.Bind)
-	fmt.Println()
-	fmt.Println("measured indicators:")
-	fmt.Printf("  %s\n", report.Measured)
-	fmt.Println()
-	fmt.Println("objective evaluation:")
-	fmt.Print(report.Evaluation.Summary())
-	fmt.Println()
-	fmt.Println("pipeline diagnostics:")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "measured indicators:")
+	fmt.Fprintf(out, "  %s\n", report.Measured)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "objective evaluation:")
+	fmt.Fprint(out, report.Evaluation.Summary())
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "pipeline diagnostics:")
 	for k, v := range report.Details {
-		fmt.Printf("  %-28s %s\n", k, v)
+		fmt.Fprintf(out, "  %-28s %s\n", k, v)
 	}
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExampleSmoke runs the full example against the public toreador API so
+// CI catches API drift in the surface the examples document.
+func TestExampleSmoke(t *testing.T) {
+	const marker = "objective evaluation:"
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), marker) {
+		t.Errorf("example output missing %q, got:\n%s", marker, buf.String())
+	}
+}

@@ -202,9 +202,27 @@ func (c *Cluster) recordUsage(nodeID string, d time.Duration) {
 // failures up to MaxAttempts per task. It returns the per-task results; the
 // error is non-nil if any task ultimately failed or the context was cancelled.
 func (c *Cluster) RunJob(ctx context.Context, tasks []Task) ([]Result, error) {
+	return c.RunNamedJob(ctx, "job", tasks)
+}
+
+// RunNamedJob executes all tasks as a single named job. The name feeds the
+// cluster's job accounting ("jobs", "jobs.tasks" counters and the
+// "job.duration" timer), so callers that fuse many logical operators into one
+// job — like the dataflow stage compiler — are visible as exactly one
+// scheduled job rather than one per operator.
+func (c *Cluster) RunNamedJob(ctx context.Context, name string, tasks []Task) ([]Result, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
+	if name == "" {
+		name = "job"
+	}
+	c.reg.Counter("jobs").Inc()
+	c.reg.Counter("jobs.tasks").Add(int64(len(tasks)))
+	jobStart := time.Now()
+	defer func() {
+		c.reg.Timer("job.duration").ObserveDuration(time.Since(jobStart))
+	}()
 	slots := c.slots()
 	type indexed struct {
 		idx  int
@@ -239,12 +257,28 @@ func (c *Cluster) RunJob(ctx context.Context, tasks []Task) ([]Result, error) {
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		return results, fmt.Errorf("cluster: job cancelled: %w", err)
+		return results, fmt.Errorf("cluster: job %s cancelled: %w", name, err)
 	}
-	for _, r := range results {
-		if r.Err != nil {
-			return results, fmt.Errorf("%w: %s on %s: %v", ErrTaskFailed, r.Task, r.Node, r.Err)
+	// A failed task cancels the whole job, so sibling tasks may have recorded
+	// the job-wide cancellation rather than the root cause. Report the first
+	// real failure when one exists, so callers inspecting the error chain see
+	// the task error, not a bystander's context.Canceled.
+	var failed *Result
+	for i := range results {
+		r := &results[i]
+		if r.Err == nil {
+			continue
 		}
+		if failed == nil {
+			failed = r
+		}
+		if !errors.Is(r.Err, context.Canceled) && !errors.Is(r.Err, context.DeadlineExceeded) {
+			failed = r
+			break
+		}
+	}
+	if failed != nil {
+		return results, fmt.Errorf("%w: job %s: %s on %s: %w", ErrTaskFailed, name, failed.Task, failed.Node, failed.Err)
 	}
 	return results, nil
 }

@@ -253,3 +253,38 @@ func TestMetricsExposed(t *testing.T) {
 		t.Errorf("tasks.attempts = %d, want 1", snap.CounterValue("tasks.attempts"))
 	}
 }
+
+func TestNamedJobAccountingAndRootCauseError(t *testing.T) {
+	c, err := New(Uniform(1, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunNamedJob(context.Background(), "stage(filter→map)", []Task{
+		{Name: "a", Fn: func(context.Context, Node) error { return nil }},
+		{Name: "b", Fn: func(context.Context, Node) error { return nil }},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Metrics().Snapshot()
+	if snap.CounterValue("jobs") != 1 || snap.CounterValue("jobs.tasks") != 2 {
+		t.Errorf("job accounting: jobs=%d tasks=%d, want 1/2",
+			snap.CounterValue("jobs"), snap.CounterValue("jobs.tasks"))
+	}
+
+	// A real task failure cancels the job; siblings blocked on the job
+	// context then record context.Canceled. The job error must surface the
+	// root cause, not the bystander cancellation.
+	boom := errors.New("boom")
+	waiter := func(ctx context.Context, _ Node) error { <-ctx.Done(); return ctx.Err() }
+	_, err = c.RunJob(context.Background(), []Task{
+		{Name: "waiter1", Fn: waiter},
+		{Name: "failer", Fn: func(context.Context, Node) error { return boom }},
+		{Name: "waiter2", Fn: waiter},
+	})
+	if !errors.Is(err, ErrTaskFailed) || !errors.Is(err, boom) {
+		t.Errorf("job error must chain to the failing task: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("job error leaks a bystander cancellation: %v", err)
+	}
+}

@@ -183,6 +183,31 @@ func (st *aggState) update(row storage.Row) {
 	}
 }
 
+// merge folds another partial state of the same aggregation into st. It is
+// the combine step of map-side aggregation: every supported aggregation is
+// algebraic (count/sum/sumSq add, min/max compare, distinct sets union), so
+// merging partials yields exactly the state a single-pass aggregation over
+// the concatenated input would have produced.
+func (st *aggState) merge(other *aggState) {
+	st.count += other.count
+	st.sum += other.sum
+	st.sumSq += other.sumSq
+	if other.min != nil && (st.min == nil || storage.CompareValues(other.min, st.min) < 0) {
+		st.min = other.min
+	}
+	if other.max != nil && (st.max == nil || storage.CompareValues(other.max, st.max) > 0) {
+		st.max = other.max
+	}
+	if len(other.distinct) > 0 {
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{}, len(other.distinct))
+		}
+		for k := range other.distinct {
+			st.distinct[k] = struct{}{}
+		}
+	}
+}
+
 func (st *aggState) result() storage.Value {
 	switch st.spec.Kind {
 	case AggCount:

@@ -15,11 +15,19 @@ import (
 )
 
 // Engine compiles logical plans into tasks and executes them on a simulated
-// cluster. An Engine is safe for concurrent use.
+// cluster. Before execution the engine's stage compiler fuses maximal chains
+// of narrow operators into single-job stages (see stage.go); wide operators
+// remain shuffle boundaries. An Engine is safe for concurrent use.
 type Engine struct {
 	cluster           *cluster.Cluster
 	reg               *metrics.Registry
 	shufflePartitions int
+	// fuse enables the stage compiler; disabled, every narrow operator runs
+	// as its own cluster job (the pre-fusion baseline, kept for ablation).
+	fuse bool
+	// combine enables the map-side partial aggregation pass before group-by
+	// shuffles.
+	combine bool
 }
 
 // EngineOption configures engine construction.
@@ -36,6 +44,20 @@ func WithShufflePartitions(n int) EngineOption {
 	}
 }
 
+// WithFusion toggles the stage compiler (default on). With fusion off every
+// narrow operator schedules its own cluster job and materialises its full
+// output, which is the baseline the fused benchmarks compare against.
+func WithFusion(enabled bool) EngineOption {
+	return func(e *Engine) { e.fuse = enabled }
+}
+
+// WithMapSideCombine toggles partial aggregation before group-by shuffles
+// (default on). With combining off every input row crosses the shuffle
+// boundary.
+func WithMapSideCombine(enabled bool) EngineOption {
+	return func(e *Engine) { e.combine = enabled }
+}
+
 // NewEngine returns an engine bound to the given cluster.
 func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 	if c == nil {
@@ -45,6 +67,8 @@ func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 		cluster:           c,
 		reg:               metrics.NewRegistry(),
 		shufflePartitions: c.TotalSlots(),
+		fuse:              true,
+		combine:           true,
 	}
 	if e.shufflePartitions < 1 {
 		e.shufflePartitions = 1
@@ -70,6 +94,12 @@ type Stats struct {
 	Tasks int64
 	// Stages is the number of shuffle stages (wide transformations) executed.
 	Stages int64
+	// FusedStages is the number of fused stages (two or more narrow
+	// operators merged into one cluster job) executed.
+	FusedStages int64
+	// CombinedRows is the number of rows the map-side combine pass removed
+	// from group-by shuffles (input rows minus shuffled partial groups).
+	CombinedRows int64
 	// WallTime is the end-to-end execution time of the action.
 	WallTime time.Duration
 }
@@ -112,6 +142,8 @@ func (s *execState) addRead(n int)     { s.mu.Lock(); s.stats.RowsRead += int64(
 func (s *execState) addShuffled(n int) { s.mu.Lock(); s.stats.ShuffledRows += int64(n); s.mu.Unlock() }
 func (s *execState) addTasks(n int)    { s.mu.Lock(); s.stats.Tasks += int64(n); s.mu.Unlock() }
 func (s *execState) addStage()         { s.mu.Lock(); s.stats.Stages++; s.mu.Unlock() }
+func (s *execState) addFused()         { s.mu.Lock(); s.stats.FusedStages++; s.mu.Unlock() }
+func (s *execState) addCombined(n int) { s.mu.Lock(); s.stats.CombinedRows += int64(n); s.mu.Unlock() }
 
 // Collect executes the plan and materialises every output row.
 func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
@@ -139,6 +171,8 @@ func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
 	e.reg.Counter("rows.output").Add(st.stats.RowsOutput)
 	e.reg.Counter("rows.shuffled").Add(st.stats.ShuffledRows)
 	e.reg.Counter("tasks").Add(st.stats.Tasks)
+	e.reg.Counter("stages.fused").Add(st.stats.FusedStages)
+	e.reg.Counter("shuffle.combined").Add(st.stats.CombinedRows)
 	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
 
 	return &Result{Schema: d.Schema(), Rows: rows, Stats: st.stats}, nil
@@ -154,10 +188,18 @@ func (e *Engine) Count(ctx context.Context, d *Dataset) (int64, error) {
 	return res.Stats.RowsOutput, nil
 }
 
-// eval recursively executes a plan node, returning partitioned rows.
+// eval recursively executes a plan node, returning partitioned rows. With
+// fusion enabled, a maximal chain of narrow operators ending at node executes
+// as one fused stage (one cluster job, one composed row pipeline per
+// partition) instead of one job plus a full materialisation per operator.
 func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([][]storage.Row, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.fuse {
+		if ch, ok := narrowChainOf(node); ok {
+			return e.evalFused(ctx, ch, st)
+		}
 	}
 	switch n := node.(type) {
 	case *sourceNode:
@@ -222,8 +264,62 @@ func (e *Engine) runPerPartition(ctx context.Context, name string, in [][]storag
 		}
 	}
 	st.addTasks(len(tasks))
-	if _, err := e.cluster.RunJob(ctx, tasks); err != nil {
+	if _, err := e.cluster.RunNamedJob(ctx, name, tasks); err != nil {
 		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
+	}
+	return out, nil
+}
+
+// evalFused executes a fused chain of narrow operators as one cluster job
+// with one task per input partition. Each task pushes its partition's rows
+// through the composed pipeline, so per-operator intermediate partitions are
+// never materialised, and a trailing limit stops the partition early.
+func (e *Engine) evalFused(ctx context.Context, ch fusedChain, st *execState) ([][]storage.Row, error) {
+	in, err := e.eval(ctx, ch.base, st)
+	if err != nil {
+		return nil, err
+	}
+	name := ch.name()
+	out, err := e.runPerPartition(ctx, name, in, st, func(idx int, rows []storage.Row) ([]storage.Row, error) {
+		if ch.limit == 0 {
+			return nil, nil
+		}
+		var res []storage.Row
+		sink := func(r storage.Row) (bool, error) {
+			res = append(res, r)
+			return ch.limit < 0 || len(res) < ch.limit, nil
+		}
+		pipe := ch.compile(idx, sink)
+		for _, r := range rows {
+			more, err := pipe(r)
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				break
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(ch.ops) > 1 {
+		st.addFused()
+	}
+	if ch.limit >= 0 {
+		// Global truncation in partition order, matching Limit's semantics
+		// of a single output partition.
+		capped := make([]storage.Row, 0, ch.limit)
+		for _, p := range out {
+			for _, r := range p {
+				if len(capped) >= ch.limit {
+					return [][]storage.Row{capped}, nil
+				}
+				capped = append(capped, r)
+			}
+		}
+		return [][]storage.Row{capped}, nil
 	}
 	return out, nil
 }
@@ -331,20 +427,37 @@ func (e *Engine) evalLimit(ctx context.Context, n *limitNode, st *execState) ([]
 	return [][]storage.Row{out}, nil
 }
 
-// shuffle redistributes rows into e.shufflePartitions buckets using the key
-// function, counting every moved row.
+// shuffle redistributes rows into e.shufflePartitions hash buckets, counting
+// every moved row. Bucket assignment is computed once per row and the output
+// buffers are pre-sized exactly, so the redistribution itself never
+// reallocates.
 func (e *Engine) shuffle(in [][]storage.Row, key func(storage.Row) string, st *execState) [][]storage.Row {
 	st.addStage()
-	buckets := make([][]storage.Row, e.shufflePartitions)
-	moved := 0
+	total := 0
+	for _, p := range in {
+		total += len(p)
+	}
+	assign := make([]int32, 0, total)
+	counts := make([]int, e.shufflePartitions)
 	for _, p := range in {
 		for _, r := range p {
 			b := storage.HashPartition(key(r), e.shufflePartitions)
-			buckets[b] = append(buckets[b], r)
-			moved++
+			assign = append(assign, int32(b))
+			counts[b]++
 		}
 	}
-	st.addShuffled(moved)
+	buckets := make([][]storage.Row, e.shufflePartitions)
+	for b := range buckets {
+		buckets[b] = make([]storage.Row, 0, counts[b])
+	}
+	i := 0
+	for _, p := range in {
+		for _, r := range p {
+			buckets[assign[i]] = append(buckets[assign[i]], r)
+			i++
+		}
+	}
+	st.addShuffled(total)
 	return buckets
 }
 
@@ -441,6 +554,9 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 	if err != nil {
 		return nil, err
 	}
+	if e.combine {
+		return e.evalGroupByCombined(ctx, n, in, st)
+	}
 	inSchema := n.child.schema()
 	key := rowKey(inSchema, n.keys)
 	buckets := e.shuffle(in, key, st)
@@ -487,6 +603,135 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 		}
 		return out, nil
 	})
+}
+
+// partialGroup is one group's accumulated aggregation state on the map side
+// of a combined group-by.
+type partialGroup struct {
+	key       string
+	keyValues []storage.Value
+	states    []*aggState
+}
+
+// evalGroupByCombined implements group-by with a map-side combine pass: one
+// job folds each input partition into per-key partial aggregation states,
+// only those partials cross the shuffle boundary (hash-partitioned into
+// pre-sized buckets), and a second job merges partials per key and emits the
+// final rows. When keys repeat within partitions this shuffles far fewer
+// rows than the row-at-a-time path.
+func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][]storage.Row, st *execState) ([][]storage.Row, error) {
+	inSchema := n.child.schema()
+	key := rowKey(inSchema, n.keys)
+	keyIdx := make([]int, len(n.keys))
+	for i, k := range n.keys {
+		keyIdx[i] = inSchema.IndexOf(k)
+	}
+
+	// Map side: one task per input partition builds partial states.
+	partials := make([][]*partialGroup, len(in))
+	tasks := make([]cluster.Task, len(in))
+	inputRows := 0
+	for i := range in {
+		i := i
+		inputRows += len(in[i])
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("groupby-combine[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				groups := make(map[string]*partialGroup)
+				var order []*partialGroup
+				for _, r := range in[i] {
+					k := key(r)
+					g, ok := groups[k]
+					if !ok {
+						kv := make([]storage.Value, len(keyIdx))
+						for j, idx := range keyIdx {
+							kv[j] = r[idx]
+						}
+						states := make([]*aggState, len(n.aggs))
+						for j, a := range n.aggs {
+							states[j] = newAggState(a, inSchema)
+						}
+						g = &partialGroup{key: k, keyValues: kv, states: states}
+						groups[k] = g
+						order = append(order, g)
+					}
+					for _, s := range g.states {
+						s.update(r)
+					}
+				}
+				partials[i] = order
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "groupby-combine", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: groupby-combine: %w", err)
+	}
+
+	// Shuffle partial groups instead of raw rows, into pre-sized buckets.
+	st.addStage()
+	counts := make([]int, e.shufflePartitions)
+	moved := 0
+	for _, ps := range partials {
+		for _, g := range ps {
+			counts[storage.HashPartition(g.key, e.shufflePartitions)]++
+			moved++
+		}
+	}
+	buckets := make([][]*partialGroup, e.shufflePartitions)
+	for b := range buckets {
+		buckets[b] = make([]*partialGroup, 0, counts[b])
+	}
+	for _, ps := range partials {
+		for _, g := range ps {
+			b := storage.HashPartition(g.key, e.shufflePartitions)
+			buckets[b] = append(buckets[b], g)
+		}
+	}
+	st.addShuffled(moved)
+	st.addCombined(inputRows - moved)
+
+	// Reduce side: one task per bucket merges partials and emits final rows.
+	out := make([][]storage.Row, len(buckets))
+	mergeTasks := make([]cluster.Task, len(buckets))
+	for b := range buckets {
+		b := b
+		mergeTasks[b] = cluster.Task{
+			Name: fmt.Sprintf("groupby-merge[%d]", b),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				merged := make(map[string]*partialGroup, len(buckets[b]))
+				var order []*partialGroup
+				for _, g := range buckets[b] {
+					m, ok := merged[g.key]
+					if !ok {
+						merged[g.key] = g
+						order = append(order, g)
+						continue
+					}
+					for j := range m.states {
+						m.states[j].merge(g.states[j])
+					}
+				}
+				rows := make([]storage.Row, 0, len(order))
+				for _, g := range order {
+					row := make(storage.Row, 0, len(g.keyValues)+len(g.states))
+					row = append(row, g.keyValues...)
+					for _, s := range g.states {
+						row = append(row, s.result())
+					}
+					rows = append(rows, row)
+				}
+				out[b] = rows
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(mergeTasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "groupby-merge", mergeTasks); err != nil {
+		return nil, fmt.Errorf("dataflow: groupby-merge: %w", err)
+	}
+	return out, nil
 }
 
 func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]storage.Row, error) {

@@ -1,0 +1,232 @@
+package dataflow
+
+// stage.go implements the stage compiler: before execution the engine walks
+// the logical plan and fuses maximal chains of narrow, per-partition
+// operators (filter → map → flatMap → sample, optionally capped by a
+// trailing limit) into a single fused stage. A fused stage runs as ONE
+// cluster job with one task per input partition; inside each task the
+// operators are composed into a push-based row pipeline, so no intermediate
+// per-operator [][]storage.Row is ever materialised. Wide operators
+// (shuffle, group-by, join, sort, distinct) remain stage boundaries.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// fusedChain is one maximal chain of narrow operators compiled into a single
+// stage.
+type fusedChain struct {
+	// ops are the narrow plan nodes in execution order (closest to the input
+	// first). Only filter, map, flatMap and sample nodes appear here.
+	ops []planNode
+	// limit caps the number of rows each partition emits; -1 means uncapped.
+	// A capped chain is followed by a driver-side global truncation that
+	// preserves Limit's partition-order semantics.
+	limit int
+	// base is the node feeding the chain: a source, a wide operator, a union
+	// or a mid-plan limit.
+	base planNode
+}
+
+// narrowChainOf walks down from node and collects the maximal fusible chain
+// ending at node. ok is false when node starts no fusible chain (it is a
+// source, a wide operator, a union, or a bare limit with no narrow child).
+func narrowChainOf(node planNode) (fusedChain, bool) {
+	ch := fusedChain{limit: -1}
+	cur := node
+	if ln, isLimit := cur.(*limitNode); isLimit {
+		ch.limit = ln.n
+		cur = ln.child
+	}
+	for {
+		switch n := cur.(type) {
+		case *filterNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
+		case *mapNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
+		case *flatMapNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
+		case *sampleNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
+		default:
+			ch.base = cur
+			// Collected top-down; reverse into execution order.
+			for i, j := 0, len(ch.ops)-1; i < j; i, j = i+1, j-1 {
+				ch.ops[i], ch.ops[j] = ch.ops[j], ch.ops[i]
+			}
+			return ch, len(ch.ops) > 0
+		}
+	}
+}
+
+// opKind names one fused operator for job/task naming.
+func opKind(op planNode) string {
+	switch op.(type) {
+	case *filterNode:
+		return "filter"
+	case *mapNode:
+		return "map"
+	case *flatMapNode:
+		return "flatmap"
+	case *sampleNode:
+		return "sample"
+	default:
+		return "op"
+	}
+}
+
+// name renders the stage's job name, e.g. "stage(filter→map→flatmap)".
+func (ch fusedChain) name() string {
+	kinds := make([]string, len(ch.ops))
+	for i, op := range ch.ops {
+		kinds[i] = opKind(op)
+	}
+	s := "stage(" + strings.Join(kinds, "→")
+	if ch.limit >= 0 {
+		s += fmt.Sprintf("→limit(%d)", ch.limit)
+	}
+	return s + ")"
+}
+
+// emitFunc pushes one row into the next pipeline step. It returns false when
+// the consumer needs no more input (the per-partition limit was reached).
+type emitFunc func(storage.Row) (bool, error)
+
+// compile composes the chain's operators for one partition over the terminal
+// sink, returning the pipeline head. Per-partition state (the sample RNG) is
+// created here, so compile must be called inside the partition's task.
+func (ch fusedChain) compile(partIdx int, sink emitFunc) emitFunc {
+	next := sink
+	for i := len(ch.ops) - 1; i >= 0; i-- {
+		next = compileOp(ch.ops[i], partIdx, next)
+	}
+	return next
+}
+
+func compileOp(op planNode, partIdx int, next emitFunc) emitFunc {
+	switch n := op.(type) {
+	case *filterNode:
+		schema := n.child.schema()
+		return func(r storage.Row) (bool, error) {
+			keep, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return false, err
+			}
+			if !keep {
+				return true, nil
+			}
+			return next(r)
+		}
+	case *mapNode:
+		schema := n.child.schema()
+		out := n.out
+		return func(r storage.Row) (bool, error) {
+			nr, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return false, err
+			}
+			if err := storage.ValidateRow(out, nr); err != nil {
+				return false, fmt.Errorf("map output: %w", err)
+			}
+			return next(nr)
+		}
+	case *flatMapNode:
+		schema := n.child.schema()
+		out := n.out
+		return func(r storage.Row) (bool, error) {
+			produced, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return false, err
+			}
+			for _, nr := range produced {
+				if err := storage.ValidateRow(out, nr); err != nil {
+					return false, fmt.Errorf("flatmap output: %w", err)
+				}
+				more, err := next(nr)
+				if err != nil || !more {
+					return more, err
+				}
+			}
+			return true, nil
+		}
+	case *sampleNode:
+		rng := rand.New(rand.NewSource(n.seed + int64(partIdx)))
+		return func(r storage.Row) (bool, error) {
+			if rng.Float64() >= n.fraction {
+				return true, nil
+			}
+			return next(r)
+		}
+	default:
+		return func(storage.Row) (bool, error) {
+			return false, fmt.Errorf("%w: operator %T cannot be fused", ErrBadPlan, op)
+		}
+	}
+}
+
+// Explain renders the physical plan the engine would execute for d: fused
+// stages, shuffle boundaries and the map-side combine decision. It is the
+// physical counterpart of Dataset.Explain (the logical plan) and executes
+// nothing.
+func (e *Engine) Explain(d *Dataset) string {
+	if d == nil || d.node == nil {
+		return "<invalid plan>"
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Sprintf("<invalid plan: %v>", err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, shufflePartitions=%d)\n",
+		onOff(e.fuse), onOff(e.combine), e.shufflePartitions)
+	e.explainNode(&sb, d.node, 1)
+	return sb.String()
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if e.fuse {
+		if ch, ok := narrowChainOf(node); ok {
+			labels := make([]string, len(ch.ops))
+			for i, op := range ch.ops {
+				labels[i] = op.label()
+			}
+			line := fmt.Sprintf("FusedStage(ops=%d: %s)", len(ch.ops), strings.Join(labels, " → "))
+			if ch.limit >= 0 {
+				line += fmt.Sprintf(" +Limit(%d)", ch.limit)
+			}
+			sb.WriteString(indent + line + "\n")
+			e.explainNode(sb, ch.base, depth+1)
+			return
+		}
+	}
+	label := node.label()
+	switch node.(type) {
+	case *groupByNode:
+		if e.combine {
+			label += " [combine+shuffle]"
+		} else {
+			label += " [shuffle]"
+		}
+	case *distinctNode, *sortNode, *joinNode:
+		label += " [shuffle]"
+	}
+	sb.WriteString(indent + label + "\n")
+	for _, c := range node.children() {
+		e.explainNode(sb, c, depth+1)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -130,6 +131,9 @@ func TestFigure1Interference(t *testing.T) {
 }
 
 func TestFigure2EngineScalability(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("wall-clock speedup from added workers is impossible on a single-CPU runner")
+	}
 	e := smallEnv(t)
 	fig, err := RunFigure2(context.Background(), e, []int{1, 4}, []int{60000})
 	if err != nil {

@@ -173,6 +173,32 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	}, nil
 }
 
+// ExplainPlan compiles the alternative's preparation pipeline and renders
+// the physical plan the dataflow engine would execute — fused stages,
+// shuffle boundaries, combine decisions — without running anything.
+func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (string, error) {
+	if campaign == nil || alt.Composition == nil || alt.Plan == nil {
+		return "", fmt.Errorf("%w: campaign and alternative are required", ErrBadRun)
+	}
+	cl, err := cluster.New(alt.Plan.ClusterConfig(r.seed, r.failureRate))
+	if err != nil {
+		return "", fmt.Errorf("runner: build cluster: %w", err)
+	}
+	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(alt.Plan.Parallelism))
+	if err != nil {
+		return "", fmt.Errorf("runner: build engine: %w", err)
+	}
+	table, err := r.data.Lookup(campaign.Goal.TargetTable)
+	if err != nil {
+		return "", fmt.Errorf("runner: %w", err)
+	}
+	dataset, _, err := r.applyPreparation(campaign, alt.Composition, table)
+	if err != nil {
+		return "", err
+	}
+	return engine.Explain(dataset), nil
+}
+
 // measuredCost combines infrastructure usage cost with the per-record service
 // pricing of the composed services for the rows that were actually processed.
 func measuredCost(comp *procedural.Composition, usage cluster.UsageReport, rows int) float64 {

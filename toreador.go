@@ -293,6 +293,13 @@ func (p *Platform) Plan(c *Campaign, strategy Strategy) (Decision, error) {
 	return p.planner.Plan(c, strategy)
 }
 
+// ExplainPipeline renders the physical dataflow plan (fused stages, shuffle
+// boundaries, map-side combine decisions) that executing the alternative's
+// preparation pipeline would run, without running it.
+func (p *Platform) ExplainPipeline(c *Campaign, alt Alternative) (string, error) {
+	return p.runner.ExplainPlan(c, alt)
+}
+
 // Interference sweeps the campaign across privacy regimes and reports the
 // surviving design options per stage.
 func (p *Platform) Interference(c *Campaign) ([]InterferencePoint, error) {
