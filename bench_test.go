@@ -10,6 +10,7 @@ package toreador
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -433,6 +434,150 @@ func BenchmarkGroupByCombine(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(last.Stats.ShuffledRows), "shuffled_rows/op")
 			b.ReportMetric(float64(last.Stats.CombinedRows), "combined_rows/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wide-operator strategy benchmarks (DESIGN.md §2.5): range vs single-task
+// sort, broadcast vs shuffled join, map-side vs shuffle-everything distinct.
+// Each pair toggles exactly one strategy switch; allocation counts compare
+// the binary-key-encoder paths under the two traffic patterns.
+// ---------------------------------------------------------------------------
+
+// wideBenchEngine builds an engine over a fresh 2x2 cluster with the given
+// strategy overrides on top of the defaults.
+func wideBenchEngine(b *testing.B, opts ...dataflow.EngineOption) *dataflow.Engine {
+	b.Helper()
+	c, err := cluster.New(cluster.Uniform(2, 2, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := dataflow.NewEngine(c, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// wideBenchRows builds n rows with keys cycling over the given cardinality
+// and a deterministic scrambled value column (unsorted input for the sort
+// benchmarks).
+func wideBenchRows(n, keys int) (*storage.Schema, []storage.Row) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		scrambled := (uint64(i) * 2654435761) % 1_000_003
+		rows[i] = storage.Row{int64(i % keys), float64(scrambled)}
+	}
+	return schema, rows
+}
+
+// BenchmarkSortRange sorts 120k scrambled rows with the range-partitioned
+// parallel sort ("range") and with the single-task global sort ("single").
+// The tasks/op metric shows the parallelism difference: one sorting task per
+// shuffle partition versus one for the whole dataset.
+func BenchmarkSortRange(b *testing.B) {
+	const rows = 120_000
+	schema, data := wideBenchRows(rows, rows)
+	plan := dataflow.FromRows("bench", schema, data, 8).Sort(dataflow.SortOrder{Column: "v"})
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"range", true}, {"single", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithRangeSort(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Collect(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.Tasks), "tasks/op")
+			b.ReportMetric(float64(last.Stats.SortSampledRows), "sampled_rows/op")
+		})
+	}
+}
+
+// BenchmarkJoinBroadcast joins 100k fact rows against a 64-row dimension
+// table with the broadcast strategy ("broadcast") and the shuffled hash join
+// ("shuffled"). The shuffled_rows metric shows the traffic the broadcast
+// avoids: zero versus both inputs.
+func BenchmarkJoinBroadcast(b *testing.B) {
+	const rows = 100_000
+	schema, data := wideBenchRows(rows, 64)
+	dimSchema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "name", Type: storage.TypeString},
+	)
+	dims := make([]storage.Row, 64)
+	for i := range dims {
+		dims[i] = storage.Row{int64(i), fmt.Sprintf("dim-%02d", i)}
+	}
+	plan := dataflow.FromRows("facts", schema, data, 8).
+		Join(dataflow.FromRows("dims", dimSchema, dims, 2), "k", "k", dataflow.InnerJoin)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"broadcast", true}, {"shuffled", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithBroadcastJoin(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Collect(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.ShuffledRows), "shuffled_rows/op")
+			b.ReportMetric(float64(last.Stats.BroadcastJoins), "broadcast_joins/op")
+		})
+	}
+}
+
+// BenchmarkDistinctCombine dedups 100k rows over 500 keys with the map-side
+// dedup pass ("map-side") and with every row crossing the shuffle
+// ("shuffle-all"). precombined_rows shows the duplicates removed before the
+// shuffle; allocation counts show the cost of re-keying shuffled rows on the
+// reduce side.
+func BenchmarkDistinctCombine(b *testing.B) {
+	const rows = 100_000
+	schema, data := wideBenchRows(rows, 500)
+	plan := dataflow.FromRows("bench", schema, data, 8).Distinct("k")
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"map-side", true}, {"shuffle-all", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithMapSideDistinct(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Collect(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.ShuffledRows), "shuffled_rows/op")
+			b.ReportMetric(float64(last.Stats.DistinctPrecombinedRows), "precombined_rows/op")
 		})
 	}
 }

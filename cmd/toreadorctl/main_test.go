@@ -115,6 +115,47 @@ func TestCLIExplain(t *testing.T) {
 	}
 }
 
+// TestCLIExplainNamesWideStrategies drives explain over a forecasting
+// campaign, whose analytics stage sorts by the time column: the rendered
+// physical plan must name the wide-operator strategy the engine chose.
+func TestCLIExplainNamesWideStrategies(t *testing.T) {
+	campaign := &model.Campaign{
+		Name:     "cli-forecast",
+		Vertical: "energy",
+		Goal: model.Goal{
+			Task:        model.TaskForecasting,
+			TargetTable: "meter_readings",
+			ValueColumn: "kwh",
+			TimeColumn:  "read_at",
+		},
+		Sources: []model.DataSource{{Table: "meter_readings", ContainsPersonalData: true, Region: "eu"}},
+		Regime:  model.RegimePseudonymize,
+	}
+	path := filepath.Join(t.TempDir(), "forecast.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := campaign.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-scenario", "energy", "-campaign", path, "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"preparation stage:",
+		"analytics stage (forecasting):",
+		"rangeSort=on",
+		"Sort([{read_at false}]) [range-shuffle(parts=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIAlternativesInterferencePlan(t *testing.T) {
 	campaign := writeCampaignFile(t)
 	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "alternatives")

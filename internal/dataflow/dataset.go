@@ -463,8 +463,11 @@ func (n *sortNode) schema() *storage.Schema { return n.child.schema() }
 func (n *sortNode) children() []planNode    { return []planNode{n.child} }
 func (n *sortNode) label() string           { return fmt.Sprintf("Sort(%v)", n.orders) }
 
-// Sort orders records by the given columns. Sorting is a global operation and
-// produces a single output partition.
+// Sort orders records by the given columns. Sorting is a global operation:
+// the engine either range-partitions the data and sorts the ranges in
+// parallel (output partitions are ordered end to end, so their concatenation
+// is the fully sorted dataset) or, for small inputs and under
+// WithRangeSort(false), collapses everything into one sorted partition.
 func (d *Dataset) Sort(orders ...SortOrder) *Dataset {
 	if bad, ok := d.invalid(); ok {
 		return bad

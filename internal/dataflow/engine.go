@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -14,10 +13,26 @@ import (
 	"repro/internal/storage"
 )
 
+// Wide-operator tuning defaults.
+const (
+	// defaultBroadcastThreshold is the build-side row count under which a join
+	// broadcasts the build side instead of shuffling both inputs.
+	defaultBroadcastThreshold = 10_000
+	// sortSamplesPerPartition is the number of rows sampled per output
+	// partition to derive range-sort split points.
+	sortSamplesPerPartition = 32
+	// rangeSortMinRowsPerPartition is the minimum average partition size worth
+	// a range shuffle; smaller inputs sort in a single task.
+	rangeSortMinRowsPerPartition = 64
+)
+
 // Engine compiles logical plans into tasks and executes them on a simulated
 // cluster. Before execution the engine's stage compiler fuses maximal chains
 // of narrow operators into single-job stages (see stage.go); wide operators
-// remain shuffle boundaries. An Engine is safe for concurrent use.
+// remain shuffle boundaries, but each picks a physical strategy: sort range-
+// partitions and sorts partitions in parallel, join broadcasts small build
+// sides, distinct dedups map-side before shuffling. An Engine is safe for
+// concurrent use.
 type Engine struct {
 	cluster           *cluster.Cluster
 	reg               *metrics.Registry
@@ -28,6 +43,16 @@ type Engine struct {
 	// combine enables the map-side partial aggregation pass before group-by
 	// shuffles.
 	combine bool
+	// rangeSort enables the range-partitioned parallel sort; disabled, sort
+	// collapses into a single cluster task (the pre-overhaul baseline).
+	rangeSort bool
+	// broadcastJoin enables broadcasting build sides below
+	// broadcastThreshold rows; disabled, every join shuffles both inputs.
+	broadcastJoin      bool
+	broadcastThreshold int
+	// mapSideDistinct enables per-partition dedup before the distinct
+	// shuffle, with the computed keys carried through it.
+	mapSideDistinct bool
 }
 
 // EngineOption configures engine construction.
@@ -58,17 +83,52 @@ func WithMapSideCombine(enabled bool) EngineOption {
 	return func(e *Engine) { e.combine = enabled }
 }
 
+// WithRangeSort toggles the range-partitioned parallel sort (default on).
+// With it off — or when the input is too small to be worth a shuffle — Sort
+// runs as one global task, the pre-overhaul baseline kept for ablation.
+func WithRangeSort(enabled bool) EngineOption {
+	return func(e *Engine) { e.rangeSort = enabled }
+}
+
+// WithBroadcastJoin toggles the broadcast hash join strategy (default on).
+// With it off every join shuffles both inputs regardless of size.
+func WithBroadcastJoin(enabled bool) EngineOption {
+	return func(e *Engine) { e.broadcastJoin = enabled }
+}
+
+// WithBroadcastThreshold sets the build-side row count at or under which a
+// join broadcasts instead of shuffling (default 10000). Non-positive values
+// are ignored; use WithBroadcastJoin(false) to disable broadcasting.
+func WithBroadcastThreshold(rows int) EngineOption {
+	return func(e *Engine) {
+		if rows > 0 {
+			e.broadcastThreshold = rows
+		}
+	}
+}
+
+// WithMapSideDistinct toggles per-partition dedup before the distinct shuffle
+// (default on). With it off every input row crosses the shuffle boundary and
+// is keyed again on the reduce side.
+func WithMapSideDistinct(enabled bool) EngineOption {
+	return func(e *Engine) { e.mapSideDistinct = enabled }
+}
+
 // NewEngine returns an engine bound to the given cluster.
 func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 	if c == nil {
 		return nil, fmt.Errorf("dataflow: engine requires a cluster")
 	}
 	e := &Engine{
-		cluster:           c,
-		reg:               metrics.NewRegistry(),
-		shufflePartitions: c.TotalSlots(),
-		fuse:              true,
-		combine:           true,
+		cluster:            c,
+		reg:                metrics.NewRegistry(),
+		shufflePartitions:  c.TotalSlots(),
+		fuse:               true,
+		combine:            true,
+		rangeSort:          true,
+		broadcastJoin:      true,
+		broadcastThreshold: defaultBroadcastThreshold,
+		mapSideDistinct:    true,
 	}
 	if e.shufflePartitions < 1 {
 		e.shufflePartitions = 1
@@ -100,6 +160,15 @@ type Stats struct {
 	// CombinedRows is the number of rows the map-side combine pass removed
 	// from group-by shuffles (input rows minus shuffled partial groups).
 	CombinedRows int64
+	// BroadcastJoins is the number of joins executed with the broadcast-hash
+	// strategy (build side at or under the threshold), shuffling zero rows.
+	BroadcastJoins int64
+	// SortSampledRows is the number of rows sampled to derive range-sort
+	// split points.
+	SortSampledRows int64
+	// DistinctPrecombinedRows is the number of duplicate rows the map-side
+	// dedup pass removed before distinct shuffles.
+	DistinctPrecombinedRows int64
 	// WallTime is the end-to-end execution time of the action.
 	WallTime time.Duration
 }
@@ -144,6 +213,17 @@ func (s *execState) addTasks(n int)    { s.mu.Lock(); s.stats.Tasks += int64(n);
 func (s *execState) addStage()         { s.mu.Lock(); s.stats.Stages++; s.mu.Unlock() }
 func (s *execState) addFused()         { s.mu.Lock(); s.stats.FusedStages++; s.mu.Unlock() }
 func (s *execState) addCombined(n int) { s.mu.Lock(); s.stats.CombinedRows += int64(n); s.mu.Unlock() }
+func (s *execState) addBroadcast()     { s.mu.Lock(); s.stats.BroadcastJoins++; s.mu.Unlock() }
+func (s *execState) addSampled(n int) {
+	s.mu.Lock()
+	s.stats.SortSampledRows += int64(n)
+	s.mu.Unlock()
+}
+func (s *execState) addPrecombined(n int) {
+	s.mu.Lock()
+	s.stats.DistinctPrecombinedRows += int64(n)
+	s.mu.Unlock()
+}
 
 // Collect executes the plan and materialises every output row.
 func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
@@ -151,6 +231,9 @@ func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
 		return nil, ErrNoSource
 	}
 	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := validateWideColumns(d.node); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -173,6 +256,9 @@ func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
 	e.reg.Counter("tasks").Add(st.stats.Tasks)
 	e.reg.Counter("stages.fused").Add(st.stats.FusedStages)
 	e.reg.Counter("shuffle.combined").Add(st.stats.CombinedRows)
+	e.reg.Counter("joins.broadcast").Add(st.stats.BroadcastJoins)
+	e.reg.Counter("sort.sampled").Add(st.stats.SortSampledRows)
+	e.reg.Counter("distinct.precombined").Add(st.stats.DistinctPrecombinedRows)
 	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
 
 	return &Result{Schema: d.Schema(), Rows: rows, Stats: st.stats}, nil
@@ -186,6 +272,58 @@ func (e *Engine) Count(ctx context.Context, d *Dataset) (int64, error) {
 		return 0, err
 	}
 	return res.Stats.RowsOutput, nil
+}
+
+// validateWideColumns walks the plan and verifies that every column a wide
+// operator keys on exists in its input schema. The Dataset builders already
+// reject unknown columns, but plans assembled through other paths used to
+// reach the executor and panic with an index of -1 mid-task; validating the
+// whole tree up front turns that into a descriptive error before any task is
+// scheduled.
+func validateWideColumns(node planNode) error {
+	if node == nil {
+		return fmt.Errorf("%w: nil plan node", ErrBadPlan)
+	}
+	requireAll := func(op string, in *storage.Schema, cols []string) error {
+		for _, c := range cols {
+			if in.IndexOf(c) < 0 {
+				return fmt.Errorf("dataflow: %s: %w: column %q not in input schema %s",
+					op, storage.ErrUnknownField, c, in)
+			}
+		}
+		return nil
+	}
+	switch n := node.(type) {
+	case *sortNode:
+		cols := make([]string, len(n.orders))
+		for i, o := range n.orders {
+			cols[i] = o.Column
+		}
+		if err := requireAll("sort", n.child.schema(), cols); err != nil {
+			return err
+		}
+	case *distinctNode:
+		if err := requireAll("distinct", n.child.schema(), n.cols); err != nil {
+			return err
+		}
+	case *groupByNode:
+		if err := requireAll("group-by", n.child.schema(), n.keys); err != nil {
+			return err
+		}
+	case *joinNode:
+		if err := requireAll("join (left)", n.left.schema(), []string{n.leftKey}); err != nil {
+			return err
+		}
+		if err := requireAll("join (right)", n.right.schema(), []string{n.rightKey}); err != nil {
+			return err
+		}
+	}
+	for _, c := range node.children() {
+		if err := validateWideColumns(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // eval recursively executes a plan node, returning partitioned rows. With
@@ -427,63 +565,68 @@ func (e *Engine) evalLimit(ctx context.Context, n *limitNode, st *execState) ([]
 	return [][]storage.Row{out}, nil
 }
 
-// shuffle redistributes rows into e.shufflePartitions hash buckets, counting
-// every moved row. Bucket assignment is computed once per row and the output
-// buffers are pre-sized exactly, so the redistribution itself never
-// reallocates.
-func (e *Engine) shuffle(in [][]storage.Row, key func(storage.Row) string, st *execState) [][]storage.Row {
-	st.addStage()
+// countRows sums the partition sizes.
+func countRows[T any](in [][]T) int {
 	total := 0
 	for _, p := range in {
 		total += len(p)
 	}
+	return total
+}
+
+// shuffleBy redistributes items into nParts buckets, preserving input order
+// within each bucket. Bucket assignment is computed once per item and the
+// output buffers are pre-sized exactly, so the redistribution itself never
+// reallocates.
+func shuffleBy[T any](nParts int, in [][]T, part func(T) int) [][]T {
+	total := countRows(in)
 	assign := make([]int32, 0, total)
-	counts := make([]int, e.shufflePartitions)
+	counts := make([]int, nParts)
 	for _, p := range in {
-		for _, r := range p {
-			b := storage.HashPartition(key(r), e.shufflePartitions)
+		for i := range p {
+			b := part(p[i])
 			assign = append(assign, int32(b))
 			counts[b]++
 		}
 	}
-	buckets := make([][]storage.Row, e.shufflePartitions)
+	buckets := make([][]T, nParts)
 	for b := range buckets {
-		buckets[b] = make([]storage.Row, 0, counts[b])
+		buckets[b] = make([]T, 0, counts[b])
 	}
 	i := 0
 	for _, p := range in {
-		for _, r := range p {
-			buckets[assign[i]] = append(buckets[assign[i]], r)
+		for j := range p {
+			buckets[assign[i]] = append(buckets[assign[i]], p[j])
 			i++
 		}
 	}
+	return buckets
+}
+
+// shuffleRows hash-partitions rows on their encoded key, counting every moved
+// row. The encoder's reusable buffer keeps the per-row key computation
+// allocation free.
+func (e *Engine) shuffleRows(in [][]storage.Row, enc *storage.KeyEncoder, st *execState) [][]storage.Row {
+	st.addStage()
+	total := countRows(in)
+	buckets := shuffleBy(e.shufflePartitions, in, func(r storage.Row) int {
+		return storage.PartitionOfHash(enc.Hash(r), e.shufflePartitions)
+	})
 	st.addShuffled(total)
 	return buckets
 }
 
-func rowKey(schema *storage.Schema, cols []string) func(storage.Row) string {
-	if len(cols) == 0 {
-		return func(r storage.Row) string {
-			parts := make([]string, len(r))
-			for i, v := range r {
-				parts[i] = storage.AsString(v)
-			}
-			return strings.Join(parts, "\x1f")
-		}
-	}
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		idx[i] = schema.IndexOf(c)
-	}
-	return func(r storage.Row) string {
-		parts := make([]string, len(idx))
-		for i, j := range idx {
-			if j >= 0 && j < len(r) {
-				parts[i] = storage.AsString(r[j])
-			}
-		}
-		return strings.Join(parts, "\x1f")
-	}
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+// keyedRow carries a row together with its binary key encoding and hash
+// across the distinct shuffle, so the reduce side never re-keys rows the map
+// side already keyed.
+type keyedRow struct {
+	key  string
+	hash uint64
+	row  storage.Row
 }
 
 func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execState) ([][]storage.Row, error) {
@@ -491,21 +634,140 @@ func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execStat
 	if err != nil {
 		return nil, err
 	}
-	key := rowKey(n.child.schema(), n.cols)
-	buckets := e.shuffle(in, key, st)
+	enc, err := storage.NewKeyEncoder(n.child.schema(), n.cols...)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: distinct: %w", err)
+	}
+	if e.mapSideDistinct {
+		return e.evalDistinctCombined(ctx, in, enc, st)
+	}
+	// Baseline: every row crosses the shuffle and is keyed again on the
+	// reduce side.
+	buckets := e.shuffleRows(in, enc, st)
 	return e.runPerPartition(ctx, "distinct", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		local := enc.Clone()
 		seen := make(map[string]struct{}, len(rows))
 		var out []storage.Row
 		for _, r := range rows {
-			k := key(r)
-			if _, dup := seen[k]; dup {
+			k := local.Key(r)
+			if _, dup := seen[string(k)]; dup {
 				continue
 			}
-			seen[k] = struct{}{}
+			seen[string(k)] = struct{}{}
 			out = append(out, r)
 		}
 		return out, nil
 	})
+}
+
+// evalDistinctCombined implements distinct with a map-side dedup pass: one
+// job removes duplicates within each input partition (keying every row
+// exactly once), only the surviving keyed rows cross the shuffle boundary,
+// and a second job merges survivors per bucket using the carried keys. Like
+// the group-by combine pass, the removed rows are reported as
+// DistinctPrecombinedRows.
+func (e *Engine) evalDistinctCombined(ctx context.Context, in [][]storage.Row,
+	enc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+
+	// Map side: one task per input partition dedups locally.
+	partials := make([][]keyedRow, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("distinct-combine[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				local := enc.Clone()
+				// Sized for the dedup-heavy case the pass exists for; both
+				// grow as needed on unique-heavy partitions.
+				seen := make(map[string]struct{}, 64)
+				var out []keyedRow
+				for _, r := range in[i] {
+					k := local.Key(r)
+					if _, dup := seen[string(k)]; dup {
+						continue
+					}
+					ks := string(k)
+					seen[ks] = struct{}{}
+					out = append(out, keyedRow{key: ks, hash: storage.HashString64(ks), row: r})
+				}
+				partials[i] = out
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "distinct-combine", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: distinct-combine: %w", err)
+	}
+
+	// Shuffle only the survivors, carrying their precomputed keys.
+	inputRows := countRows(in)
+	moved := countRows(partials)
+	st.addStage()
+	st.addShuffled(moved)
+	st.addPrecombined(inputRows - moved)
+	buckets := shuffleBy(e.shufflePartitions, partials, func(kr keyedRow) int {
+		return storage.PartitionOfHash(kr.hash, e.shufflePartitions)
+	})
+
+	// Reduce side: merge survivors per bucket on the carried keys.
+	out := make([][]storage.Row, len(buckets))
+	mergeTasks := make([]cluster.Task, len(buckets))
+	for b := range buckets {
+		b := b
+		mergeTasks[b] = cluster.Task{
+			Name: fmt.Sprintf("distinct-merge[%d]", b),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				seen := make(map[string]struct{}, len(buckets[b]))
+				rows := make([]storage.Row, 0, len(buckets[b]))
+				for _, kr := range buckets[b] {
+					if _, dup := seen[kr.key]; dup {
+						continue
+					}
+					seen[kr.key] = struct{}{}
+					rows = append(rows, kr.row)
+				}
+				out[b] = rows
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(mergeTasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "distinct-merge", mergeTasks); err != nil {
+		return nil, fmt.Errorf("dataflow: distinct-merge: %w", err)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+// rowComparator builds the multi-column comparison function for the sort
+// orders, with column indices resolved once.
+func rowComparator(schema *storage.Schema, orders []SortOrder) (func(a, b storage.Row) int, error) {
+	idx := make([]int, len(orders))
+	for i, o := range orders {
+		idx[i] = schema.IndexOf(o.Column)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("dataflow: sort: %w: column %q not in input schema %s",
+				storage.ErrUnknownField, o.Column, schema)
+		}
+	}
+	return func(a, b storage.Row) int {
+		for k, o := range orders {
+			c := storage.CompareValues(a[idx[k]], b[idx[k]])
+			if c == 0 {
+				continue
+			}
+			if o.Descending {
+				return -c
+			}
+			return c
+		}
+		return 0
+	}, nil
 }
 
 func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]storage.Row, error) {
@@ -513,67 +775,114 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]
 	if err != nil {
 		return nil, err
 	}
-	st.addStage()
-	var all []storage.Row
-	for _, p := range in {
-		all = append(all, p...)
-	}
-	st.addShuffled(len(all))
-	schema := n.child.schema()
-	idx := make([]int, len(n.orders))
-	for i, o := range n.orders {
-		idx[i] = schema.IndexOf(o.Column)
-	}
-	// Global sort runs as a single task so the comparator executes on the
-	// cluster like any other work.
-	out, err := e.runPerPartition(ctx, "sort", [][]storage.Row{all}, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
-		sorted := append([]storage.Row(nil), rows...)
-		sort.SliceStable(sorted, func(a, b int) bool {
-			for k, o := range n.orders {
-				c := storage.CompareValues(sorted[a][idx[k]], sorted[b][idx[k]])
-				if c == 0 {
-					continue
-				}
-				if o.Descending {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		return sorted, nil
-	})
+	cmp, err := rowComparator(n.child.schema(), n.orders)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	total := countRows(in)
+	if e.rangeSort && e.shufflePartitions > 1 && total > e.shufflePartitions*rangeSortMinRowsPerPartition {
+		return e.evalSortRange(ctx, in, total, cmp, st)
+	}
+	// Baseline (and small-input fallback): collapse everything into one task
+	// so the comparator executes on the cluster like any other work.
+	st.addStage()
+	all := make([]storage.Row, 0, total)
+	for _, p := range in {
+		all = append(all, p...)
+	}
+	st.addShuffled(total)
+	return e.runPerPartition(ctx, "sort", [][]storage.Row{all}, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		sorted := append([]storage.Row(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool { return cmp(sorted[a], sorted[b]) < 0 })
+		return sorted, nil
+	})
 }
+
+// evalSortRange implements the range-partitioned parallel sort: sample the
+// input to estimate the key distribution, derive shufflePartitions-1 split
+// points, range-shuffle every row to its partition, and stable-sort the
+// partitions in parallel. The output partitions are ordered end to end, so
+// their concatenation (what Collect does) is the globally sorted dataset, and
+// stability is preserved: the shuffle keeps input order within each
+// partition, and rows comparing equal to a split point all land on its right.
+func (e *Engine) evalSortRange(ctx context.Context, in [][]storage.Row, total int,
+	cmp func(a, b storage.Row) int, st *execState) ([][]storage.Row, error) {
+
+	// Sample deterministically: a fixed stride over the input approximates
+	// the key distribution without an RNG, so repeated runs pick identical
+	// split points.
+	target := e.shufflePartitions * sortSamplesPerPartition
+	if target > total {
+		target = total
+	}
+	stride := total / target
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]storage.Row, 0, target+1)
+	i := 0
+	for _, p := range in {
+		for _, r := range p {
+			if i%stride == 0 {
+				sample = append(sample, r)
+			}
+			i++
+		}
+	}
+	st.addSampled(len(sample))
+	sort.SliceStable(sample, func(a, b int) bool { return cmp(sample[a], sample[b]) < 0 })
+	bounds := make([]storage.Row, 0, e.shufflePartitions-1)
+	for b := 1; b < e.shufflePartitions; b++ {
+		bounds = append(bounds, sample[b*len(sample)/e.shufflePartitions])
+	}
+
+	// Range shuffle: partition p receives the rows in [bounds[p-1], bounds[p]).
+	st.addStage()
+	st.addShuffled(total)
+	buckets := shuffleBy(e.shufflePartitions, in, func(r storage.Row) int {
+		return sort.Search(len(bounds), func(b int) bool { return cmp(r, bounds[b]) < 0 })
+	})
+
+	return e.runPerPartition(ctx, "sort-range", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		sorted := append([]storage.Row(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool { return cmp(sorted[a], sorted[b]) < 0 })
+		return sorted, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Group-by
+// ---------------------------------------------------------------------------
 
 func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState) ([][]storage.Row, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
-	if e.combine {
-		return e.evalGroupByCombined(ctx, n, in, st)
-	}
 	inSchema := n.child.schema()
-	key := rowKey(inSchema, n.keys)
-	buckets := e.shuffle(in, key, st)
+	enc, err := storage.NewKeyEncoder(inSchema, n.keys...)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: group-by: %w", err)
+	}
+	if e.combine {
+		return e.evalGroupByCombined(ctx, n, in, enc, st)
+	}
 	keyIdx := make([]int, len(n.keys))
 	for i, k := range n.keys {
 		keyIdx[i] = inSchema.IndexOf(k)
 	}
+	buckets := e.shuffleRows(in, enc, st)
 	return e.runPerPartition(ctx, "groupby", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
 		type group struct {
 			keyValues []storage.Value
 			states    []*aggState
 		}
+		local := enc.Clone()
 		groups := make(map[string]*group)
-		var order []string
+		var order []*group
 		for _, r := range rows {
-			k := key(r)
-			g, ok := groups[k]
+			k := local.Key(r)
+			g, ok := groups[string(k)]
 			if !ok {
 				kv := make([]storage.Value, len(keyIdx))
 				for i, idx := range keyIdx {
@@ -584,16 +893,15 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 					states[i] = newAggState(a, inSchema)
 				}
 				g = &group{keyValues: kv, states: states}
-				groups[k] = g
-				order = append(order, k)
+				groups[string(k)] = g
+				order = append(order, g)
 			}
 			for _, s := range g.states {
 				s.update(r)
 			}
 		}
-		out := make([]storage.Row, 0, len(groups))
-		for _, k := range order {
-			g := groups[k]
+		out := make([]storage.Row, 0, len(order))
+		for _, g := range order {
 			row := make(storage.Row, 0, len(g.keyValues)+len(g.states))
 			row = append(row, g.keyValues...)
 			for _, s := range g.states {
@@ -606,9 +914,11 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 }
 
 // partialGroup is one group's accumulated aggregation state on the map side
-// of a combined group-by.
+// of a combined group-by. The binary key encoding and its hash travel with
+// the state so the shuffle and the merge never re-key.
 type partialGroup struct {
 	key       string
+	hash      uint64
 	keyValues []storage.Value
 	states    []*aggState
 }
@@ -619,9 +929,10 @@ type partialGroup struct {
 // pre-sized buckets), and a second job merges partials per key and emits the
 // final rows. When keys repeat within partitions this shuffles far fewer
 // rows than the row-at-a-time path.
-func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][]storage.Row, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][]storage.Row,
+	enc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+
 	inSchema := n.child.schema()
-	key := rowKey(inSchema, n.keys)
 	keyIdx := make([]int, len(n.keys))
 	for i, k := range n.keys {
 		keyIdx[i] = inSchema.IndexOf(k)
@@ -637,11 +948,12 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 		tasks[i] = cluster.Task{
 			Name: fmt.Sprintf("groupby-combine[%d]", i),
 			Fn: func(ctx context.Context, node cluster.Node) error {
+				local := enc.Clone()
 				groups := make(map[string]*partialGroup)
 				var order []*partialGroup
 				for _, r := range in[i] {
-					k := key(r)
-					g, ok := groups[k]
+					k := local.Key(r)
+					g, ok := groups[string(k)]
 					if !ok {
 						kv := make([]storage.Value, len(keyIdx))
 						for j, idx := range keyIdx {
@@ -651,8 +963,9 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 						for j, a := range n.aggs {
 							states[j] = newAggState(a, inSchema)
 						}
-						g = &partialGroup{key: k, keyValues: kv, states: states}
-						groups[k] = g
+						ks := string(k)
+						g = &partialGroup{key: ks, hash: storage.HashString64(ks), keyValues: kv, states: states}
+						groups[ks] = g
 						order = append(order, g)
 					}
 					for _, s := range g.states {
@@ -671,24 +984,10 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 
 	// Shuffle partial groups instead of raw rows, into pre-sized buckets.
 	st.addStage()
-	counts := make([]int, e.shufflePartitions)
-	moved := 0
-	for _, ps := range partials {
-		for _, g := range ps {
-			counts[storage.HashPartition(g.key, e.shufflePartitions)]++
-			moved++
-		}
-	}
-	buckets := make([][]*partialGroup, e.shufflePartitions)
-	for b := range buckets {
-		buckets[b] = make([]*partialGroup, 0, counts[b])
-	}
-	for _, ps := range partials {
-		for _, g := range ps {
-			b := storage.HashPartition(g.key, e.shufflePartitions)
-			buckets[b] = append(buckets[b], g)
-		}
-	}
+	moved := countRows(partials)
+	buckets := shuffleBy(e.shufflePartitions, partials, func(g *partialGroup) int {
+		return storage.PartitionOfHash(g.hash, e.shufflePartitions)
+	})
 	st.addShuffled(moved)
 	st.addCombined(inputRows - moved)
 
@@ -734,6 +1033,10 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 	return out, nil
 }
 
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
 func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]storage.Row, error) {
 	left, err := e.eval(ctx, n.left, st)
 	if err != nil {
@@ -744,40 +1047,98 @@ func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]
 		return nil, err
 	}
 	ls, rs := n.left.schema(), n.right.schema()
-	lKey := rowKey(ls, []string{n.leftKey})
-	rKey := rowKey(rs, []string{n.rightKey})
-	lBuckets := e.shuffle(left, lKey, st)
-	rBuckets := e.shuffle(right, rKey, st)
+	lEnc, err := storage.NewKeyEncoder(ls, n.leftKey)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: join (left): %w", err)
+	}
+	rEnc, err := storage.NewKeyEncoder(rs, n.rightKey)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: join (right): %w", err)
+	}
+	if e.broadcastJoin && countRows(right) <= e.broadcastThreshold {
+		return e.evalJoinBroadcast(ctx, n, left, right, lEnc, rEnc, st)
+	}
+
+	// Shuffled hash join: both sides hash-partition on their key, bucket i of
+	// the left probes a table built over bucket i of the right.
+	lBuckets := e.shuffleRows(left, lEnc, st)
+	rBuckets := e.shuffleRows(right, rEnc, st)
 	rightWidth := rs.Len()
 
 	return e.runPerPartition(ctx, "join", lBuckets, st, func(idx int, lRows []storage.Row) ([]storage.Row, error) {
-		// Build hash table on the right bucket with the same index.
-		build := make(map[string][]storage.Row)
-		for _, rr := range rBuckets[idx] {
-			k := rKey(rr)
-			build[k] = append(build[k], rr)
-		}
-		var out []storage.Row
-		for _, lr := range lRows {
-			matches := build[lKey(lr)]
-			if len(matches) == 0 {
-				if n.kind == LeftJoin {
-					row := make(storage.Row, 0, len(lr)+rightWidth)
-					row = append(row, lr...)
-					for i := 0; i < rightWidth; i++ {
-						row = append(row, nil)
-					}
-					out = append(out, row)
-				}
-				continue
+		build := buildJoinTable(rBuckets[idx], rEnc.Clone())
+		return probeJoinTable(build, lRows, lEnc.Clone(), n.kind, rightWidth), nil
+	})
+}
+
+// evalJoinBroadcast executes the join without any shuffle: the build (right)
+// side is small enough to replicate, so one task builds its hash table and
+// every left partition probes it in place, preserving the left partitioning.
+func (e *Engine) evalJoinBroadcast(ctx context.Context, n *joinNode,
+	left, right [][]storage.Row, lEnc, rEnc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+
+	st.addBroadcast()
+	// Build once as a single cluster task — the simulated analogue of
+	// materialising the broadcast variable — then share the table read-only
+	// across every probe task.
+	var build map[string][]storage.Row
+	buildTask := []cluster.Task{{
+		Name: "join-broadcast-build",
+		Fn: func(ctx context.Context, node cluster.Node) error {
+			flat := make([]storage.Row, 0, countRows(right))
+			for _, p := range right {
+				flat = append(flat, p...)
 			}
-			for _, rr := range matches {
-				row := make(storage.Row, 0, len(lr)+len(rr))
+			build = buildJoinTable(flat, rEnc.Clone())
+			return nil
+		},
+	}}
+	st.addTasks(1)
+	if _, err := e.cluster.RunNamedJob(ctx, "join-broadcast-build", buildTask); err != nil {
+		return nil, fmt.Errorf("dataflow: join-broadcast-build: %w", err)
+	}
+	rightWidth := n.right.schema().Len()
+	return e.runPerPartition(ctx, "join-broadcast", left, st, func(_ int, lRows []storage.Row) ([]storage.Row, error) {
+		return probeJoinTable(build, lRows, lEnc.Clone(), n.kind, rightWidth), nil
+	})
+}
+
+// buildJoinTable indexes the build-side rows by their encoded key.
+func buildJoinTable(rows []storage.Row, enc *storage.KeyEncoder) map[string][]storage.Row {
+	build := make(map[string][]storage.Row, len(rows))
+	for _, rr := range rows {
+		k := string(enc.Key(rr))
+		build[k] = append(build[k], rr)
+	}
+	return build
+}
+
+// probeJoinTable streams the probe-side rows against the build table,
+// null-extending unmatched rows for left joins. Lookups go through the
+// encoder's reusable buffer, so probing allocates only for emitted rows.
+func probeJoinTable(build map[string][]storage.Row, lRows []storage.Row,
+	enc *storage.KeyEncoder, kind JoinType, rightWidth int) []storage.Row {
+
+	var out []storage.Row
+	for _, lr := range lRows {
+		matches := build[string(enc.Key(lr))]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				row := make(storage.Row, 0, len(lr)+rightWidth)
 				row = append(row, lr...)
-				row = append(row, rr...)
+				for i := 0; i < rightWidth; i++ {
+					row = append(row, nil)
+				}
 				out = append(out, row)
 			}
+			continue
 		}
-		return out, nil
-	})
+		for _, rr := range matches {
+			row := make(storage.Row, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out = append(out, row)
+		}
+	}
+	return out
 }

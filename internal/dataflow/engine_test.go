@@ -14,11 +14,16 @@ import (
 
 func testEngine(t *testing.T) *Engine {
 	t.Helper()
+	return testEngineWith(t)
+}
+
+func testEngineWith(t *testing.T, opts ...EngineOption) *Engine {
+	t.Helper()
 	c, err := cluster.New(cluster.Uniform(2, 2, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(c)
+	e, err := NewEngine(c, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,8 +349,29 @@ func TestInnerJoin(t *testing.T) {
 			t.Errorf("north row joined to %q", rec.String("manager"))
 		}
 	}
-	if res.Stats.Stages < 2 {
-		t.Errorf("join must shuffle both sides, stages = %d", res.Stats.Stages)
+	// The two-row build side is far under the threshold: the join must
+	// broadcast it and skip the shuffle entirely.
+	if res.Stats.BroadcastJoins != 1 {
+		t.Errorf("broadcast joins = %d, want 1", res.Stats.BroadcastJoins)
+	}
+	if res.Stats.ShuffledRows != 0 || res.Stats.Stages != 0 {
+		t.Errorf("broadcast join must move no rows, shuffled = %d stages = %d",
+			res.Stats.ShuffledRows, res.Stats.Stages)
+	}
+
+	// With broadcasting disabled the fallback shuffles both sides and must
+	// produce the same rows.
+	eOff := testEngineWith(t, WithBroadcastJoin(false))
+	resOff := collect(t, eOff, j)
+	if len(resOff.Rows) != 5 {
+		t.Fatalf("shuffled inner join rows = %d, want 5", len(resOff.Rows))
+	}
+	if resOff.Stats.Stages < 2 || resOff.Stats.ShuffledRows == 0 {
+		t.Errorf("shuffled join must shuffle both sides, stages = %d shuffled = %d",
+			resOff.Stats.Stages, resOff.Stats.ShuffledRows)
+	}
+	if resOff.Stats.BroadcastJoins != 0 {
+		t.Errorf("disabled broadcast still reported %d broadcast joins", resOff.Stats.BroadcastJoins)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package dataflow
+
+// raceDetectorEnabled reports whether the test binary was built with -race;
+// wall-clock comparisons skip under the detector's overhead.
+const raceDetectorEnabled = true

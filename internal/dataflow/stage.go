@@ -173,9 +173,10 @@ func compileOp(op planNode, partIdx int, next emitFunc) emitFunc {
 }
 
 // Explain renders the physical plan the engine would execute for d: fused
-// stages, shuffle boundaries and the map-side combine decision. It is the
-// physical counterpart of Dataset.Explain (the logical plan) and executes
-// nothing.
+// stages, shuffle boundaries, and the physical strategy chosen for every wide
+// operator (range vs single-task sort, broadcast vs shuffled join, map-side
+// combine/dedup). It is the physical counterpart of Dataset.Explain (the
+// logical plan) and executes nothing.
 func (e *Engine) Explain(d *Dataset) string {
 	if d == nil || d.node == nil {
 		return "<invalid plan>"
@@ -184,10 +185,55 @@ func (e *Engine) Explain(d *Dataset) string {
 		return fmt.Sprintf("<invalid plan: %v>", err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, shufflePartitions=%d)\n",
-		onOff(e.fuse), onOff(e.combine), e.shufflePartitions)
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, shufflePartitions=%d)\n",
+		onOff(e.fuse), onOff(e.combine), onOff(e.rangeSort),
+		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct), e.shufflePartitions)
 	e.explainNode(&sb, d.node, 1)
 	return sb.String()
+}
+
+// estimateMaxRows returns a static upper bound on the number of rows node can
+// produce, derived from source sizes: narrow row-preserving and row-reducing
+// operators bound by their child, limits cap, unions add. ok is false when no
+// bound can be derived (flatMap and joins can grow their input arbitrarily).
+// Explain uses the bound to predict the runtime broadcast-join decision,
+// which compares the materialised build side against the threshold.
+func estimateMaxRows(node planNode) (int, bool) {
+	switch n := node.(type) {
+	case *sourceNode:
+		total := 0
+		for _, p := range n.partitions {
+			total += len(p)
+		}
+		return total, true
+	case *filterNode:
+		return estimateMaxRows(n.child)
+	case *mapNode:
+		return estimateMaxRows(n.child)
+	case *sampleNode:
+		return estimateMaxRows(n.child)
+	case *distinctNode:
+		return estimateMaxRows(n.child)
+	case *sortNode:
+		return estimateMaxRows(n.child)
+	case *groupByNode:
+		// At most one output row per input row.
+		return estimateMaxRows(n.child)
+	case *limitNode:
+		if bound, ok := estimateMaxRows(n.child); ok && bound < n.n {
+			return bound, true
+		}
+		return n.n, true
+	case *unionNode:
+		l, lok := estimateMaxRows(n.left)
+		r, rok := estimateMaxRows(n.right)
+		if lok && rok {
+			return l + r, true
+		}
+		return 0, false
+	default: // flatMapNode, joinNode
+		return 0, false
+	}
 }
 
 func onOff(b bool) string {
@@ -215,15 +261,36 @@ func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
 		}
 	}
 	label := node.label()
-	switch node.(type) {
+	switch n := node.(type) {
 	case *groupByNode:
 		if e.combine {
 			label += " [combine+shuffle]"
 		} else {
 			label += " [shuffle]"
 		}
-	case *distinctNode, *sortNode, *joinNode:
-		label += " [shuffle]"
+	case *distinctNode:
+		if e.mapSideDistinct {
+			label += " [map-dedup+shuffle]"
+		} else {
+			label += " [shuffle]"
+		}
+	case *sortNode:
+		// Mirror evalSort's runtime decision: small bounded inputs take the
+		// single-task fallback even with range sorting enabled; unbounded
+		// inputs are assumed large enough to range-shuffle.
+		bound, bounded := estimateMaxRows(n.child)
+		small := bounded && bound <= e.shufflePartitions*rangeSortMinRowsPerPartition
+		if e.rangeSort && e.shufflePartitions > 1 && !small {
+			label += fmt.Sprintf(" [range-shuffle(parts=%d)]", e.shufflePartitions)
+		} else {
+			label += " [single-task]"
+		}
+	case *joinNode:
+		if bound, ok := estimateMaxRows(n.right); e.broadcastJoin && ok && bound <= e.broadcastThreshold {
+			label += fmt.Sprintf(" [broadcast(build≤%d)]", bound)
+		} else {
+			label += " [shuffle-hash]"
+		}
 	}
 	sb.WriteString(indent + label + "\n")
 	for _, c := range node.children() {

@@ -1,0 +1,438 @@
+package dataflow
+
+// wide_test.go covers the physical strategies of the wide operators
+// (DESIGN.md §2.5): the range-partitioned parallel sort, the broadcast hash
+// join, map-side distinct dedup, and the engine-level plan validation that
+// keeps hand-built plans from panicking mid-task.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// wideDataset builds n rows over p partitions with a pseudo-random sortable
+// value, a low-cardinality key and a sequence number for stability checks.
+func wideDataset(t testing.TB, n, p int) *Dataset {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.Field{Name: "seq", Type: storage.TypeInt},
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		// Weyl-style scrambling keeps the values deterministic but unsorted.
+		scrambled := (uint64(i) * 2654435761) % 1_000_003
+		rows[i] = storage.Row{int64(i), int64(i % 40), float64(scrambled)}
+	}
+	return FromRows("wide", schema, rows, p)
+}
+
+func TestRangeSortMatchesSingleTask(t *testing.T) {
+	// 2000 rows over 8 partitions is comfortably above the range-sort
+	// fallback threshold for a 4-slot engine.
+	plan := wideDataset(t, 2000, 8).Sort(
+		SortOrder{Column: "k"},
+		SortOrder{Column: "v", Descending: true},
+	)
+	ranged := collect(t, testEngineWith(t), plan)
+	single := collect(t, testEngineWith(t, WithRangeSort(false)), plan)
+
+	if ranged.Stats.SortSampledRows == 0 {
+		t.Error("range sort must sample rows for split points")
+	}
+	if single.Stats.SortSampledRows != 0 {
+		t.Error("single-task sort must not sample")
+	}
+	// The single-task stable sort is the reference: the range-partitioned
+	// result must match it row for row, which covers both global ordering
+	// and stability (equal keys keep their input order).
+	if !equalStrings(rowStrings(ranged.Rows), rowStrings(single.Rows)) {
+		t.Fatal("range-partitioned sort output differs from single-task sort")
+	}
+}
+
+func TestRangeSortSmallInputFallsBack(t *testing.T) {
+	e := testEngineWith(t)
+	res := collect(t, e, wideDataset(t, 100, 4).Sort(SortOrder{Column: "v"}))
+	if res.Stats.SortSampledRows != 0 {
+		t.Error("tiny input must fall back to the single-task sort")
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if storage.CompareValues(res.Rows[i-1][2], res.Rows[i][2]) > 0 {
+			t.Fatalf("fallback output not sorted at %d", i)
+		}
+	}
+}
+
+func TestRangeSortMetrics(t *testing.T) {
+	e := testEngineWith(t)
+	collect(t, e, wideDataset(t, 2000, 8).Sort(SortOrder{Column: "v"}))
+	snap := e.Metrics().Snapshot()
+	if snap.CounterValue("sort.sampled") == 0 {
+		t.Error("sort.sampled counter must accumulate")
+	}
+}
+
+// TestRangeSortOutperformsSingleTask is the Figure-2-style scalability check
+// for the sort overhaul: distributing the sort over range partitions must
+// beat the single task when real cores are available.
+func TestRangeSortOutperformsSingleTask(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("wall-clock speedup from parallel partitions is impossible on a single-CPU runner")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("race-detector overhead makes wall-clock comparisons unreliable")
+	}
+	plan := wideDataset(t, 150_000, 8).Sort(SortOrder{Column: "v"})
+	best := func(e *Engine) time.Duration {
+		bestTime := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			res := collect(t, e, plan)
+			if res.Stats.WallTime < bestTime {
+				bestTime = res.Stats.WallTime
+			}
+		}
+		return bestTime
+	}
+	ranged := best(testEngineWith(t))
+	single := best(testEngineWith(t, WithRangeSort(false)))
+	if ranged >= single {
+		t.Errorf("range sort (%v) must beat the single-task sort (%v) on %d cores",
+			ranged, single, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestMapSideDistinctMatchesBaseline(t *testing.T) {
+	// 40 keys across 2000 rows: the map side should collapse each partition
+	// to at most 40 survivors.
+	plan := wideDataset(t, 2000, 8).Distinct("k")
+	combined := collect(t, testEngineWith(t), plan)
+	baseline := collect(t, testEngineWith(t, WithMapSideDistinct(false)), plan)
+
+	if len(combined.Rows) != 40 || len(baseline.Rows) != 40 {
+		t.Fatalf("distinct rows = %d (combined) / %d (baseline), want 40", len(combined.Rows), len(baseline.Rows))
+	}
+	// Both strategies keep the first occurrence in partition-major order, so
+	// the outputs must be identical, not merely set-equal.
+	if !equalStrings(rowStrings(combined.Rows), rowStrings(baseline.Rows)) {
+		t.Error("map-side distinct changed the surviving rows")
+	}
+	if combined.Stats.DistinctPrecombinedRows == 0 {
+		t.Error("map-side pass must report precombined rows")
+	}
+	if baseline.Stats.DistinctPrecombinedRows != 0 {
+		t.Error("baseline must not report precombined rows")
+	}
+	if combined.Stats.ShuffledRows >= baseline.Stats.ShuffledRows {
+		t.Errorf("map-side distinct shuffled %d rows, baseline %d — dedup must reduce the shuffle",
+			combined.Stats.ShuffledRows, baseline.Stats.ShuffledRows)
+	}
+	if combined.Stats.DistinctPrecombinedRows+combined.Stats.ShuffledRows != baseline.Stats.ShuffledRows {
+		t.Errorf("precombined (%d) + shuffled (%d) must equal the baseline shuffle (%d)",
+			combined.Stats.DistinctPrecombinedRows, combined.Stats.ShuffledRows, baseline.Stats.ShuffledRows)
+	}
+}
+
+func TestMapSideDistinctWholeRowAndMetrics(t *testing.T) {
+	e := testEngineWith(t)
+	// 400 rows cycling through 200 distinct tuples over 4 partitions: the
+	// copies of each tuple (i and i+200, with 200 ≡ 0 mod 4) land in the
+	// same partition, so the map side can remove them before the shuffle.
+	schema := storage.MustSchema(
+		storage.Field{Name: "seq", Type: storage.TypeInt},
+		storage.Field{Name: "tag", Type: storage.TypeString},
+	)
+	rows := make([]storage.Row, 400)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i % 200), "row"}
+	}
+	dup := FromRows("dup", schema, rows, 4)
+	res := collect(t, e, dup.Distinct())
+	if len(res.Rows) != 200 {
+		t.Fatalf("whole-row distinct rows = %d, want 200", len(res.Rows))
+	}
+	if res.Stats.DistinctPrecombinedRows == 0 {
+		t.Error("duplicated union must precombine rows map-side")
+	}
+	if e.Metrics().Snapshot().CounterValue("distinct.precombined") == 0 {
+		t.Error("distinct.precombined counter must accumulate")
+	}
+}
+
+func TestBroadcastJoinThresholdBoundary(t *testing.T) {
+	right := FromRows("dims", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "name", Type: storage.TypeString},
+	), []storage.Row{
+		{int64(0), "zero"}, {int64(1), "one"}, {int64(2), "two"},
+		{int64(3), "three"}, {int64(4), "four"},
+	}, 2)
+	plan := wideDataset(t, 400, 4).Join(right, "k", "k", InnerJoin)
+
+	// Build side of 5 rows at threshold 5: broadcast.
+	at := collect(t, testEngineWith(t, WithBroadcastThreshold(5)), plan)
+	if at.Stats.BroadcastJoins != 1 || at.Stats.ShuffledRows != 0 {
+		t.Errorf("threshold==build size must broadcast (joins=%d shuffled=%d)",
+			at.Stats.BroadcastJoins, at.Stats.ShuffledRows)
+	}
+	// One below: shuffle.
+	under := collect(t, testEngineWith(t, WithBroadcastThreshold(4)), plan)
+	if under.Stats.BroadcastJoins != 0 || under.Stats.ShuffledRows == 0 {
+		t.Errorf("build side over threshold must shuffle (joins=%d shuffled=%d)",
+			under.Stats.BroadcastJoins, under.Stats.ShuffledRows)
+	}
+	if !equalStrings(sortedRowStrings(at.Rows), sortedRowStrings(under.Rows)) {
+		t.Error("broadcast and shuffled joins must produce the same rows")
+	}
+	// Metric accumulates on the broadcasting engine.
+	e := testEngineWith(t)
+	collect(t, e, plan)
+	if e.Metrics().Snapshot().CounterValue("joins.broadcast") != 1 {
+		t.Error("joins.broadcast counter must accumulate")
+	}
+}
+
+func TestBroadcastLeftJoinMatchesShuffled(t *testing.T) {
+	right := FromRows("dims", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "name", Type: storage.TypeString},
+	), []storage.Row{{int64(1), "one"}, {int64(2), "two"}}, 1)
+	// Keys 0..39 on the left, only 1 and 2 match: most rows null-extend.
+	plan := wideDataset(t, 400, 4).Join(right, "k", "k", LeftJoin)
+	broadcast := collect(t, testEngineWith(t), plan)
+	shuffled := collect(t, testEngineWith(t, WithBroadcastJoin(false)), plan)
+	if len(broadcast.Rows) != 400 || len(shuffled.Rows) != 400 {
+		t.Fatalf("left join rows = %d / %d, want 400", len(broadcast.Rows), len(shuffled.Rows))
+	}
+	if !equalStrings(sortedRowStrings(broadcast.Rows), sortedRowStrings(shuffled.Rows)) {
+		t.Error("broadcast left join must match the shuffled strategy")
+	}
+	if broadcast.Stats.BroadcastJoins != 1 || shuffled.Stats.BroadcastJoins != 0 {
+		t.Errorf("broadcast joins = %d / %d, want 1 / 0",
+			broadcast.Stats.BroadcastJoins, shuffled.Stats.BroadcastJoins)
+	}
+}
+
+// TestWideOperatorValidationCatchesHandBuiltPlans covers the engine-level
+// plan validation: the Dataset builders reject unknown columns, but plans
+// assembled directly from nodes used to panic inside a task (Schema.IndexOf
+// returning -1). Collect must instead fail fast with a descriptive error.
+func TestWideOperatorValidationCatchesHandBuiltPlans(t *testing.T) {
+	e := testEngine(t)
+	base := wideDataset(t, 50, 2)
+	other := wideDataset(t, 50, 2)
+	cases := []struct {
+		name string
+		node planNode
+		want string
+	}{
+		{"sort", &sortNode{child: base.node, orders: []SortOrder{{Column: "ghost"}}}, "sort"},
+		{"distinct", &distinctNode{child: base.node, cols: []string{"ghost"}}, "distinct"},
+		{"groupby", &groupByNode{child: base.node, keys: []string{"ghost"}, aggs: []Aggregation{Count()}}, "group-by"},
+		{"join-left", &joinNode{left: base.node, right: other.node, leftKey: "ghost", rightKey: "k", kind: InnerJoin}, "join (left)"},
+		{"join-right", &joinNode{left: base.node, right: other.node, leftKey: "k", rightKey: "ghost", kind: InnerJoin}, "join (right)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.Collect(context.Background(), &Dataset{node: tc.node})
+			if err == nil {
+				t.Fatal("hand-built plan with unknown column must fail, not panic")
+			}
+			if !errors.Is(err, storage.ErrUnknownField) {
+				t.Errorf("error = %v, want ErrUnknownField", err)
+			}
+			if !strings.Contains(err.Error(), `"ghost"`) || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q must name the operator and the column", err)
+			}
+		})
+	}
+	// A bad node below a wide operator must be caught too.
+	nested := &sortNode{
+		child:  &distinctNode{child: base.node, cols: []string{"ghost"}},
+		orders: []SortOrder{{Column: "k"}},
+	}
+	if _, err := e.Collect(context.Background(), &Dataset{node: nested}); !errors.Is(err, storage.ErrUnknownField) {
+		t.Errorf("nested bad plan error = %v, want ErrUnknownField", err)
+	}
+}
+
+// wideFailurePlans enumerates one plan per wide operator, each large enough
+// to exercise the optimised strategies.
+func wideFailurePlans(t testing.TB) map[string]*Dataset {
+	right := FromRows("dims", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "name", Type: storage.TypeString},
+	), []storage.Row{{int64(1), "one"}, {int64(2), "two"}}, 1)
+	return map[string]*Dataset{
+		"sort":     wideDataset(t, 2000, 8).Sort(SortOrder{Column: "v"}),
+		"distinct": wideDataset(t, 2000, 8).Distinct("k"),
+		"join":     wideDataset(t, 2000, 8).Join(right, "k", "k", InnerJoin),
+		"groupby":  wideDataset(t, 2000, 8).GroupBy("k").Agg(Count()),
+	}
+}
+
+// TestWideOperatorsPropagateTaskFailure mirrors PR 1's error-chain work for
+// the new strategies: when a task exhausts its retry budget, the action must
+// surface the cluster failure (with the injected root cause), not a panic or
+// a bystander cancellation.
+func TestWideOperatorsPropagateTaskFailure(t *testing.T) {
+	for name, plan := range wideFailurePlans(t) {
+		t.Run(name, func(t *testing.T) {
+			cfg := cluster.Uniform(2, 2, 0.95)
+			cfg.MaxAttempts = 2
+			cfg.Seed = 7
+			c, err := cluster.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = e.Collect(context.Background(), plan)
+			if err == nil {
+				t.Skip("statistically improbable: every doomed task passed")
+			}
+			if !errors.Is(err, cluster.ErrTaskFailed) {
+				t.Errorf("error = %v, want ErrTaskFailed in the chain", err)
+			}
+			if !cluster.IsInjectedFailure(err) {
+				t.Errorf("error chain %v must preserve the injected root cause", err)
+			}
+		})
+	}
+}
+
+func TestWideOperatorsPropagateCancellation(t *testing.T) {
+	for name, plan := range wideFailurePlans(t) {
+		t.Run(name, func(t *testing.T) {
+			e := testEngine(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := e.Collect(ctx, plan); !errors.Is(err, context.Canceled) {
+				t.Errorf("error = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestWideOperatorsSurviveRetries checks the happy path under a low failure
+// rate: retries mask the injected failures and every strategy still produces
+// correct output.
+func TestWideOperatorsSurviveRetries(t *testing.T) {
+	for name, plan := range wideFailurePlans(t) {
+		t.Run(name, func(t *testing.T) {
+			cfg := cluster.Uniform(2, 2, 0.1)
+			cfg.MaxAttempts = 10
+			cfg.Seed = 3
+			c, err := cluster.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Collect(context.Background(), plan)
+			if err != nil {
+				t.Fatalf("wide operator under retries: %v", err)
+			}
+			if len(res.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+		})
+	}
+}
+
+func TestExplainWideStrategies(t *testing.T) {
+	small := FromRows("dims", storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+	), []storage.Row{{int64(1)}, {int64(2)}}, 1)
+
+	e := testEngineWith(t)
+	header := "PhysicalPlan(fusion=on, combine=on, rangeSort=on, broadcastJoin=on"
+	bigSort := wideDataset(t, 2000, 8).Sort(SortOrder{Column: "v"})
+	plan := e.Explain(bigSort)
+	if !strings.Contains(plan, header) {
+		t.Errorf("Explain header missing strategy switches:\n%s", plan)
+	}
+	if !strings.Contains(plan, "[range-shuffle(parts=4)]") {
+		t.Errorf("Explain must name the range sort strategy:\n%s", plan)
+	}
+	// A small bounded input takes the single-task fallback at runtime, and
+	// Explain must predict that, not the configured strategy.
+	if got := e.Explain(wideDataset(t, 100, 4).Sort(SortOrder{Column: "v"})); !strings.Contains(got, "[single-task]") {
+		t.Errorf("small-input Explain must predict the single-task fallback:\n%s", got)
+	}
+	if got := testEngineWith(t, WithRangeSort(false)).Explain(bigSort); !strings.Contains(got, "[single-task]") {
+		t.Errorf("range-sort-off Explain must name the single-task strategy:\n%s", got)
+	}
+
+	join := wideDataset(t, 100, 4).Join(small, "k", "k", InnerJoin)
+	if got := e.Explain(join); !strings.Contains(got, "[broadcast(build≤2)]") {
+		t.Errorf("Explain must predict the broadcast join with the build-side bound:\n%s", got)
+	}
+	if got := testEngineWith(t, WithBroadcastJoin(false)).Explain(join); !strings.Contains(got, "[shuffle-hash]") {
+		t.Errorf("broadcast-off Explain must name the shuffled strategy:\n%s", got)
+	}
+	if got := testEngineWith(t, WithBroadcastThreshold(1)).Explain(join); !strings.Contains(got, "[shuffle-hash]") {
+		t.Errorf("build side above threshold must render shuffle-hash:\n%s", got)
+	}
+
+	// A flatMap below the build side makes its size unbounded: Explain must
+	// fall back to the shuffled strategy.
+	grown := small.FlatMap("grow", small.Schema(), func(r Record) ([]storage.Row, error) {
+		return []storage.Row{r.Row()}, nil
+	})
+	if got := e.Explain(wideDataset(t, 100, 4).Join(grown, "k", "k", InnerJoin)); !strings.Contains(got, "[shuffle-hash]") {
+		t.Errorf("unbounded build side must render shuffle-hash:\n%s", got)
+	}
+
+	distinct := wideDataset(t, 100, 4).Distinct("k")
+	if got := e.Explain(distinct); !strings.Contains(got, "[map-dedup+shuffle]") {
+		t.Errorf("Explain must name the map-side distinct strategy:\n%s", got)
+	}
+	if got := testEngineWith(t, WithMapSideDistinct(false)).Explain(distinct); !strings.Contains(got, "Distinct([k]) [shuffle]") {
+		t.Errorf("map-side-off Explain must name the plain shuffle:\n%s", got)
+	}
+}
+
+// TestEstimateMaxRows pins the static bound the explainer uses to predict
+// broadcast decisions.
+func TestEstimateMaxRows(t *testing.T) {
+	base := wideDataset(t, 100, 4)
+	if n, ok := estimateMaxRows(base.node); !ok || n != 100 {
+		t.Errorf("source bound = %d/%v, want 100", n, ok)
+	}
+	filtered := base.Filter("any", func(Record) (bool, error) { return true, nil })
+	if n, ok := estimateMaxRows(filtered.node); !ok || n != 100 {
+		t.Errorf("filter bound = %d/%v, want 100", n, ok)
+	}
+	if n, ok := estimateMaxRows(base.Limit(7).node); !ok || n != 7 {
+		t.Errorf("limit bound = %d/%v, want 7", n, ok)
+	}
+	if n, ok := estimateMaxRows(base.Union(base).node); !ok || n != 200 {
+		t.Errorf("union bound = %d/%v, want 200", n, ok)
+	}
+	if n, ok := estimateMaxRows(base.GroupBy("k").Agg(Count()).node); !ok || n != 100 {
+		t.Errorf("group-by bound = %d/%v, want 100", n, ok)
+	}
+	grown := base.FlatMap("grow", base.Schema(), func(r Record) ([]storage.Row, error) { return nil, nil })
+	if _, ok := estimateMaxRows(grown.node); ok {
+		t.Error("flatMap must have no static bound")
+	}
+	if _, ok := estimateMaxRows(base.Join(base, "k", "k", InnerJoin).node); ok {
+		t.Error("join must have no static bound")
+	}
+}

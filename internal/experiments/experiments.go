@@ -314,6 +314,12 @@ type Figure2Point struct {
 	WallTime      time.Duration
 	ThroughputRPS float64
 	SpeedupVs1    float64
+	// ShuffledRows is the number of rows the pipeline moved across shuffle
+	// boundaries; the broadcast join keeps the small dimension side out of
+	// it entirely.
+	ShuffledRows int64
+	// BroadcastJoins counts joins the engine executed broadcast-side.
+	BroadcastJoins int64
 }
 
 // Figure2 is the engine-scalability experiment.
@@ -332,15 +338,17 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 	for _, rows := range rowSweep {
 		baseline := map[int]float64{} // rows -> wall seconds at 1 worker
 		for _, workers := range workerSweep {
-			wall, err := runScalabilityPipeline(ctx, e.Seed, rows, workers)
+			wall, stats, err := runScalabilityPipeline(ctx, e.Seed, rows, workers)
 			if err != nil {
 				return nil, err
 			}
 			point := Figure2Point{
-				Workers:       workers,
-				Rows:          rows,
-				WallTime:      wall,
-				ThroughputRPS: float64(rows) / wall.Seconds(),
+				Workers:        workers,
+				Rows:           rows,
+				WallTime:       wall,
+				ThroughputRPS:  float64(rows) / wall.Seconds(),
+				ShuffledRows:   stats.ShuffledRows,
+				BroadcastJoins: stats.BroadcastJoins,
 			}
 			if workers == workerSweep[0] {
 				baseline[rows] = wall.Seconds()
@@ -359,7 +367,7 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 // slots. The scoring step performs a fixed amount of per-row numeric work
 // (mirroring the feature-engineering stages of the real campaigns) so the
 // parallel fraction of the pipeline dominates the fixed shuffle overhead.
-func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) (time.Duration, error) {
+func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) (time.Duration, dataflow.Stats, error) {
 	schema := storage.MustSchema(
 		storage.Field{Name: "id", Type: storage.TypeInt},
 		storage.Field{Name: "key", Type: storage.TypeInt},
@@ -381,11 +389,11 @@ func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) 
 	cfg.Seed = seed
 	cl, err := cluster.New(cfg)
 	if err != nil {
-		return 0, err
+		return 0, dataflow.Stats{}, err
 	}
 	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(workers))
 	if err != nil {
-		return 0, err
+		return 0, dataflow.Stats{}, err
 	}
 	facts := dataflow.FromRows("facts", schema, data, workers*2)
 	dims := dataflow.FromRows("dims", dimSchema, dim, 2)
@@ -405,10 +413,11 @@ func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) 
 		GroupBy("segment").
 		Agg(dataflow.Count(), dataflow.Sum("score"), dataflow.Avg("value"))
 	start := time.Now()
-	if _, err := engine.Collect(ctx, plan); err != nil {
-		return 0, err
+	res, err := engine.Collect(ctx, plan)
+	if err != nil {
+		return 0, dataflow.Stats{}, err
 	}
-	return time.Since(start), nil
+	return time.Since(start), res.Stats, nil
 }
 
 // String renders the figure data.
@@ -421,10 +430,12 @@ func (f *Figure2) String() string {
 			p.WallTime.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", p.ThroughputRPS),
 			fmt.Sprintf("%.2f", p.SpeedupVs1),
+			fmt.Sprintf("%d", p.ShuffledRows),
+			fmt.Sprintf("%d", p.BroadcastJoins),
 		})
 	}
 	return "Figure 2 — dataflow engine scalability (filter → join → group-by pipeline)\n" +
-		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup"}, rows)
+		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins"}, rows)
 }
 
 // ---------------------------------------------------------------------------

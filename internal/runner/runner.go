@@ -173,9 +173,12 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	}, nil
 }
 
-// ExplainPlan compiles the alternative's preparation pipeline and renders
-// the physical plan the dataflow engine would execute — fused stages,
-// shuffle boundaries, combine decisions — without running anything.
+// ExplainPlan compiles the alternative's pipeline and renders the physical
+// plans the dataflow engine would execute — fused stages, shuffle boundaries,
+// combine decisions, and the wide-operator strategies (range vs single-task
+// sort, broadcast vs shuffled join, map-side dedup) — without running
+// anything. For analytics tasks that execute on the engine (association,
+// forecasting, reporting) a second section explains the analytics-stage plan.
 func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (string, error) {
 	if campaign == nil || alt.Composition == nil || alt.Plan == nil {
 		return "", fmt.Errorf("%w: campaign and alternative are required", ErrBadRun)
@@ -196,7 +199,55 @@ func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (st
 	if err != nil {
 		return "", err
 	}
-	return engine.Explain(dataset), nil
+	out := "preparation stage:\n" + engine.Explain(dataset)
+	// The analytics plan is chained onto the preparation plan (rather than
+	// onto an empty placeholder source) so the explainer sees the real input
+	// cardinality and predicts the same sort/join strategies the engine will
+	// pick when it executes over the prepared rows.
+	if plan, ok := analyticsPlan(campaign, dataset); ok {
+		out += "\nanalytics stage (" + string(campaign.Goal.Task) + "):\n" + engine.Explain(plan)
+	}
+	return out, nil
+}
+
+// analyticsPartitions is the partition count the runner uses when feeding
+// prepared rows back into the engine for the analytics stage.
+const analyticsPartitions = 4
+
+// analyticsPlan builds the logical dataflow plan of the analytics stage for
+// the tasks that execute on the engine: association (group-by), forecasting
+// (sort) and reporting (group-by). ok is false for tasks whose analytics run
+// outside the engine or whose required goal columns are missing. Sharing the
+// builder between execution and ExplainPlan keeps the explained plan
+// identical to the executed one.
+func analyticsPlan(campaign *model.Campaign, src *dataflow.Dataset) (*dataflow.Dataset, bool) {
+	g := campaign.Goal
+	switch g.Task {
+	case model.TaskAssociation:
+		if g.ItemColumn == "" || g.TransactionColumn == "" {
+			return nil, false
+		}
+		return src.GroupBy(g.TransactionColumn).Agg(dataflow.CountDistinct(g.ItemColumn)), true
+	case model.TaskForecasting:
+		if g.ValueColumn == "" {
+			return nil, false
+		}
+		ordered := src
+		if g.TimeColumn != "" {
+			ordered = src.Sort(dataflow.SortOrder{Column: g.TimeColumn})
+		}
+		return ordered.Project(g.ValueColumn), true
+	case model.TaskReporting:
+		if len(g.GroupColumns) == 0 || g.ValueColumn == "" {
+			return nil, false
+		}
+		return src.GroupBy(g.GroupColumns...).Agg(
+			dataflow.Count(),
+			dataflow.Sum(g.ValueColumn),
+			dataflow.Avg(g.ValueColumn),
+		), true
+	}
+	return nil, false
 }
 
 // measuredCost combines infrastructure usage cost with the per-record service
@@ -449,8 +500,12 @@ func (r *Runner) runAssociation(ctx context.Context, engine *dataflow.Engine, ca
 	}
 	// Rebuild transactions with a dataflow group-by so the shuffle path is
 	// exercised, then mine rules locally.
-	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
-	grouped, err := engine.Collect(ctx, src.GroupBy(txCol).Agg(dataflow.CountDistinct(itemCol)))
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, analyticsPartitions)
+	plan, ok := analyticsPlan(campaign, src)
+	if !ok {
+		return 0, details, fmt.Errorf("%w: association plan", ErrMissingParam)
+	}
+	grouped, err := engine.Collect(ctx, plan)
 	if err != nil {
 		return 0, details, fmt.Errorf("runner: group transactions: %w", err)
 	}
@@ -537,12 +592,12 @@ func (r *Runner) runForecasting(ctx context.Context, engine *dataflow.Engine, ca
 	if campaign.Goal.ValueColumn == "" {
 		return 0, details, fmt.Errorf("%w: forecasting needs a value column", ErrMissingParam)
 	}
-	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
-	ordered := src
-	if campaign.Goal.TimeColumn != "" {
-		ordered = src.Sort(dataflow.SortOrder{Column: campaign.Goal.TimeColumn})
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, analyticsPartitions)
+	plan, ok := analyticsPlan(campaign, src)
+	if !ok {
+		return 0, details, fmt.Errorf("%w: forecasting plan", ErrMissingParam)
 	}
-	res, err := engine.Collect(ctx, ordered.Project(campaign.Goal.ValueColumn))
+	res, err := engine.Collect(ctx, plan)
 	if err != nil {
 		return 0, details, fmt.Errorf("runner: order series: %w", err)
 	}
@@ -624,12 +679,12 @@ func (r *Runner) runReporting(ctx context.Context, engine *dataflow.Engine, camp
 	if len(campaign.Goal.GroupColumns) == 0 || campaign.Goal.ValueColumn == "" {
 		return 0, details, fmt.Errorf("%w: reporting needs group and value columns", ErrMissingParam)
 	}
-	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, 4)
-	report, err := engine.Collect(ctx, src.GroupBy(campaign.Goal.GroupColumns...).Agg(
-		dataflow.Count(),
-		dataflow.Sum(campaign.Goal.ValueColumn),
-		dataflow.Avg(campaign.Goal.ValueColumn),
-	))
+	src := dataflow.FromRows(campaign.Goal.TargetTable, prepared.Schema, prepared.Rows, analyticsPartitions)
+	plan, ok := analyticsPlan(campaign, src)
+	if !ok {
+		return 0, details, fmt.Errorf("%w: reporting plan", ErrMissingParam)
+	}
+	report, err := engine.Collect(ctx, plan)
 	if err != nil {
 		return 0, details, fmt.Errorf("runner: aggregate report: %w", err)
 	}
