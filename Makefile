@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet examples ci
+.PHONY: build test race bench bench-artifact bench-compare fmt vet examples ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,19 @@ race:
 # command with -benchtime=1x as a smoke test.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Writes a commit-stamped experiment artifact into the tracked
+# bench-artifacts/ directory (the same sizing CI uses).
+bench-artifact:
+	$(GO) run ./cmd/toreador-bench \
+		-customers 400 -meters 2 -days 3 -users 60 -attempts 2 -json \
+		-commit "$$(git rev-parse --short=12 HEAD)" \
+		> "bench-artifacts/BENCH_$$(git rev-parse --short=12 HEAD).json"
+
+# Diffs the two newest artifacts in bench-artifacts/ and prints a
+# per-benchmark delta table — the perf trajectory across commits.
+bench-compare:
+	$(GO) run ./cmd/toreador-bench -compare bench-artifacts
 
 # Fails (listing the offending files) when any file needs reformatting.
 fmt:

@@ -582,6 +582,105 @@ func BenchmarkDistinctCombine(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized-execution benchmarks (DESIGN.md §2.6): columnar batch kernels vs
+// the row-at-a-time baseline. Each pair toggles only WithVectorizedExecution;
+// fusion stays on in both arms, so the comparison isolates the batch layer.
+// ---------------------------------------------------------------------------
+
+// vectorBenchPlan builds the 4-operator narrow chain the vectorized ablation
+// runs: filter → project → with_column → project. Three of the four
+// operators are pure column kernels under vectorized execution (the filter
+// evaluates its closure through zero-copy batch views and emits a selection
+// vector), while the row path materialises a fresh boxed row per operator.
+func vectorBenchPlan(rows int) *dataflow.Dataset {
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+		storage.Field{Name: "w", Type: storage.TypeFloat},
+	)
+	data := make([]storage.Row, rows)
+	for i := range data {
+		scrambled := (uint64(i) * 2654435761) % 1_000_003
+		data[i] = storage.Row{int64(i % 5000), float64(i%1000) / 10, float64(scrambled % 97)}
+	}
+	return dataflow.FromRows("bench", schema, data, 8).
+		Filter("v >= 10", func(r dataflow.Record) (bool, error) { return r.Float("v") >= 10, nil }).
+		Project("k", "v").
+		WithColumn(storage.Field{Name: "decile", Type: storage.TypeInt},
+			func(r dataflow.Record) (storage.Value, error) { return r.Int("v") / 10, nil }).
+		Project("k", "decile")
+}
+
+// BenchmarkVectorizedChain executes the 4-operator chain over 150k rows with
+// columnar batch kernels ("vectorized") and with the fused row pipeline
+// ("row"). The Count action keeps result materialisation out of both arms, so
+// the numbers compare the execution strategies themselves.
+func BenchmarkVectorizedChain(b *testing.B) {
+	const rows = 150_000
+	plan := vectorBenchPlan(rows)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"vectorized", true}, {"row", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithVectorizedExecution(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("chain produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Batches), "batches/op")
+			b.ReportMetric(float64(last.BatchRows), "batch_rows/op")
+		})
+	}
+}
+
+// BenchmarkVectorizedShuffle appends a distinct to the 4-operator chain, so
+// every surviving row is keyed and shuffled: vectorized, keys are encoded
+// straight from the column vectors and survivors move by batch index;
+// row-at-a-time, every surviving row is a boxed Row that is keyed, wrapped
+// and shuffled individually.
+func BenchmarkVectorizedShuffle(b *testing.B) {
+	const rows = 150_000
+	plan := vectorBenchPlan(rows).Distinct("k", "decile")
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"vectorized", true}, {"row", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithVectorizedExecution(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("distinct produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
+			b.ReportMetric(float64(last.Batches), "batches/op")
+		})
+	}
+}
+
 // BenchmarkComplianceEvaluation measures a single compliance evaluation, the
 // inner loop of alternative elaboration.
 func BenchmarkComplianceEvaluation(b *testing.B) {

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	toreador-bench                 # all experiments, default sizing
-//	toreador-bench -only table2    # a single experiment
-//	toreador-bench -customers 5000 # larger synthetic datasets
-//	toreador-bench -json           # machine-readable output (CI artifacts)
+//	toreador-bench                   # all experiments, default sizing
+//	toreador-bench -only table2      # a single experiment
+//	toreador-bench -customers 5000   # larger synthetic datasets
+//	toreador-bench -json             # machine-readable output (CI artifacts)
+//	toreador-bench -json -commit abc # stamp the artifact with a commit id
+//	toreador-bench -compare DIR      # delta table of the two newest artifacts
 package main
 
 import (
@@ -19,7 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
@@ -46,9 +51,14 @@ func run(args []string, out io.Writer) error {
 		attempts  = fs.Int("attempts", 5, "attempts per simulated trainee (figure 4)")
 		only      = fs.String("only", "", "run a single experiment: table1|table2|table3|table4|figure1|figure2|figure3|figure4")
 		asJSON    = fs.Bool("json", false, "emit results as a single JSON object keyed by experiment name")
+		commit    = fs.String("commit", "", "commit id recorded in the JSON artifact's _meta block")
+		compare   = fs.String("compare", "", "directory of BENCH_*.json artifacts: diff the two newest and print a per-benchmark delta table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare != "" {
+		return compareArtifacts(out, *compare)
 	}
 	env, err := experiments.NewEnv(*seed, workload.Sizing{
 		Customers: *customers, Meters: *meters, Days: *days, Users: *users,
@@ -97,9 +107,145 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
 	if *asJSON {
+		doc := map[string]any{
+			"_meta": artifactMeta{Commit: *commit, GeneratedUnix: time.Now().Unix()},
+		}
+		for name, res := range results {
+			doc[name] = res
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		return enc.Encode(doc)
 	}
 	return nil
+}
+
+// artifactMeta orders bench artifacts in a directory without relying on file
+// modification times, which git checkouts do not preserve.
+type artifactMeta struct {
+	Commit        string `json:"commit,omitempty"`
+	GeneratedUnix int64  `json:"generated_unix"`
+}
+
+// compareArtifacts loads every BENCH_*.json in dir, picks the two newest by
+// their _meta timestamps, and prints a per-benchmark delta table of the
+// headline numeric metrics — the perf trajectory between the two commits.
+func compareArtifacts(out io.Writer, dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) < 2 {
+		return fmt.Errorf("compare needs at least two BENCH_*.json artifacts in %s, found %d", dir, len(paths))
+	}
+	type artifact struct {
+		path string
+		meta artifactMeta
+		doc  map[string]any
+	}
+	arts := make([]artifact, 0, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		a := artifact{path: p, doc: doc}
+		if m, ok := doc["_meta"].(map[string]any); ok {
+			if c, ok := m["commit"].(string); ok {
+				a.meta.Commit = c
+			}
+			if ts, ok := m["generated_unix"].(float64); ok {
+				a.meta.GeneratedUnix = int64(ts)
+			}
+		}
+		arts = append(arts, a)
+	}
+	sort.Slice(arts, func(i, j int) bool {
+		if arts[i].meta.GeneratedUnix != arts[j].meta.GeneratedUnix {
+			return arts[i].meta.GeneratedUnix < arts[j].meta.GeneratedUnix
+		}
+		return arts[i].path < arts[j].path
+	})
+	oldA, newA := arts[len(arts)-2], arts[len(arts)-1]
+
+	oldVals := flattenNumeric("", oldA.doc)
+	newVals := flattenNumeric("", newA.doc)
+	keys := make([]string, 0, len(newVals))
+	for k := range newVals {
+		if _, ok := oldVals[k]; ok && interestingMetric(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	name := func(a artifact) string {
+		if a.meta.Commit != "" {
+			return a.meta.Commit
+		}
+		return filepath.Base(a.path)
+	}
+	fmt.Fprintf(out, "bench delta: %s -> %s\n", name(oldA), name(newA))
+	fmt.Fprintf(out, "%-58s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	for _, k := range keys {
+		o, n := oldVals[k], newVals[k]
+		delta := "n/a"
+		if o != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+		}
+		fmt.Fprintf(out, "%-58s %14.4g %14.4g %9s\n", k, o, n, delta)
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(out, "(no comparable metrics found)")
+	}
+	return nil
+}
+
+// flattenNumeric walks decoded JSON and collects numeric leaves keyed by
+// their dotted path; array elements keep their index, which is stable because
+// the experiment sweeps are fixed.
+func flattenNumeric(prefix string, v any) map[string]float64 {
+	out := map[string]float64{}
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, val := range x {
+				p := k
+				if path != "" {
+					p = path + "." + k
+				}
+				walk(p, val)
+			}
+		case []any:
+			for i, val := range x {
+				walk(fmt.Sprintf("%s[%d]", path, i), val)
+			}
+		case float64:
+			out[path] = x
+		}
+	}
+	walk(prefix, v)
+	return out
+}
+
+// interestingMetric filters the flattened paths down to the headline
+// per-benchmark numbers, keeping the delta table readable.
+func interestingMetric(path string) bool {
+	if strings.HasPrefix(path, "_meta") {
+		return false
+	}
+	for _, suffix := range []string{
+		"ThroughputRPS", "SpeedupVs1", "ShuffledRows", "BroadcastJoins", "Batches",
+		"WallTime", "TotalCompile", "Execution", "CrossoverRows", "EffectiveScore",
+		"Accuracy", "CompliantAlternatives",
+	} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,7 +56,7 @@ func TestBenchCLICheapExperiments(t *testing.T) {
 }
 
 func TestBenchCLIJSONOutput(t *testing.T) {
-	out, err := runBenchCLI(t, smallArgs("-only", "table1", "-json")...)
+	out, err := runBenchCLI(t, smallArgs("-only", "table1", "-json", "-commit", "cafe1234")...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +67,47 @@ func TestBenchCLIJSONOutput(t *testing.T) {
 	if _, ok := doc["table1"]; !ok {
 		t.Errorf("JSON document missing table1 key: %v", out)
 	}
-	if len(doc) != 1 {
-		t.Errorf("-only table1 -json must emit exactly one experiment, got %d", len(doc))
+	if len(doc) != 2 {
+		t.Errorf("-only table1 -json must emit one experiment plus _meta, got %d keys", len(doc))
+	}
+	var meta artifactMeta
+	if err := json.Unmarshal(doc["_meta"], &meta); err != nil || meta.Commit != "cafe1234" || meta.GeneratedUnix == 0 {
+		t.Errorf("_meta = %+v (err %v), want commit and timestamp stamped", meta, err)
+	}
+}
+
+func TestBenchCLICompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, commit string, unix int64, throughput float64) {
+		doc := map[string]any{
+			"_meta":   artifactMeta{Commit: commit, GeneratedUnix: unix},
+			"figure2": map[string]any{"Points": []any{map[string]any{"ThroughputRPS": throughput, "Workers": 1}}},
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_aaa.json", "aaa", 100, 1000)
+	write("BENCH_bbb.json", "bbb", 200, 2000)
+
+	out, err := runBenchCLI(t, "-compare", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bench delta: aaa -> bbb", "ThroughputRPS", "+100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Workers") {
+		t.Errorf("compare must filter to headline metrics:\n%s", out)
+	}
+	if _, err := runBenchCLI(t, "-compare", t.TempDir()); err == nil {
+		t.Error("compare over an empty directory must fail")
 	}
 }
 

@@ -113,12 +113,11 @@ func IsInjectedFailure(err error) bool { return errors.Is(err, errInjected) }
 
 // Cluster is a running simulated cluster. Create with New, stop with Close.
 type Cluster struct {
-	cfg     Config
-	nodes   []Node
-	reg     *metrics.Registry
-	rng     *rand.Rand
-	rngMu   sync.Mutex
-	usageMu sync.Mutex
+	cfg      Config
+	nodes    []Node
+	reg      *metrics.Registry
+	slotList []slot
+	usageMu  sync.Mutex
 	// busySlotSeconds accumulates slot-seconds of executed work per node for
 	// cost accounting.
 	busySlotSeconds map[string]float64
@@ -142,13 +141,27 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxAttempts < 1 {
 		cfg.MaxAttempts = 3
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:             cfg,
 		nodes:           append([]Node(nil), cfg.Nodes...),
 		reg:             metrics.NewRegistry(),
-		rng:             rand.New(rand.NewSource(cfg.Seed)),
 		busySlotSeconds: make(map[string]float64),
-	}, nil
+	}
+	// One failure-injection RNG per worker slot, seeded Seed+worker index:
+	// deterministic for a fixed seed and slot layout, and workers never
+	// contend on a shared generator lock at high slot counts (each slot's
+	// lock is touched by at most one goroutine per running job).
+	worker := int64(0)
+	for _, n := range c.nodes {
+		for s := 0; s < n.Slots; s++ {
+			c.slotList = append(c.slotList, slot{
+				node: n,
+				rng:  &workerRNG{rng: rand.New(rand.NewSource(cfg.Seed + worker))},
+			})
+			worker++
+		}
+	}
+	return c, nil
 }
 
 // Metrics exposes the cluster's metric registry.
@@ -168,28 +181,33 @@ func (c *Cluster) Nodes() []Node {
 	return append([]Node(nil), c.nodes...)
 }
 
-// slot pairs a node with one of its execution slots.
+// workerRNG is one worker slot's failure-injection generator. The mutex only
+// guards against concurrently running jobs sharing the slot list; within one
+// job a slot is driven by a single goroutine, so the lock is uncontended.
+type workerRNG struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (w *workerRNG) float64() float64 {
+	w.mu.Lock()
+	v := w.rng.Float64()
+	w.mu.Unlock()
+	return v
+}
+
+// slot pairs a node with one of its execution slots and that slot's private
+// failure-injection RNG.
 type slot struct {
 	node Node
+	rng  *workerRNG
 }
 
-func (c *Cluster) slots() []slot {
-	var out []slot
-	for _, n := range c.nodes {
-		for s := 0; s < n.Slots; s++ {
-			out = append(out, slot{node: n})
-		}
-	}
-	return out
-}
-
-func (c *Cluster) injectFailure(n Node) bool {
-	if n.FailureRate <= 0 {
+func (sl slot) injectFailure() bool {
+	if sl.node.FailureRate <= 0 {
 		return false
 	}
-	c.rngMu.Lock()
-	defer c.rngMu.Unlock()
-	return c.rng.Float64() < n.FailureRate
+	return sl.rng.float64() < sl.node.FailureRate
 }
 
 func (c *Cluster) recordUsage(nodeID string, d time.Duration) {
@@ -223,7 +241,6 @@ func (c *Cluster) RunNamedJob(ctx context.Context, name string, tasks []Task) ([
 	defer func() {
 		c.reg.Timer("job.duration").ObserveDuration(time.Since(jobStart))
 	}()
-	slots := c.slots()
 	type indexed struct {
 		idx  int
 		task Task
@@ -239,12 +256,12 @@ func (c *Cluster) RunNamedJob(ctx context.Context, name string, tasks []Task) ([
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	for _, sl := range slots {
+	for _, sl := range c.slotList {
 		wg.Add(1)
 		go func(sl slot) {
 			defer wg.Done()
 			for it := range queue {
-				res := c.runTask(jobCtx, sl.node, it.task)
+				res := c.runTask(jobCtx, sl, it.task)
 				results[it.idx] = res
 				if res.Err != nil {
 					// Abort the rest of the job: a failed task beyond the
@@ -283,7 +300,8 @@ func (c *Cluster) RunNamedJob(ctx context.Context, name string, tasks []Task) ([
 	return results, nil
 }
 
-func (c *Cluster) runTask(ctx context.Context, node Node, task Task) Result {
+func (c *Cluster) runTask(ctx context.Context, sl slot, task Task) Result {
+	node := sl.node
 	res := Result{Task: task.Name, Node: node.ID}
 	start := time.Now()
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
@@ -293,7 +311,7 @@ func (c *Cluster) runTask(ctx context.Context, node Node, task Task) Result {
 			break
 		}
 		c.reg.Counter("tasks.attempts").Inc()
-		err := c.attempt(ctx, node, task)
+		err := c.attempt(ctx, sl, task)
 		if err == nil {
 			res.Err = nil
 			c.reg.Counter("tasks.succeeded").Inc()
@@ -316,12 +334,12 @@ func (c *Cluster) runTask(ctx context.Context, node Node, task Task) Result {
 	return res
 }
 
-func (c *Cluster) attempt(ctx context.Context, node Node, task Task) error {
-	if c.injectFailure(node) {
+func (c *Cluster) attempt(ctx context.Context, sl slot, task Task) error {
+	if sl.injectFailure() {
 		return errInjected
 	}
 	if task.SimulatedServiceTime > 0 {
-		d := time.Duration(float64(task.SimulatedServiceTime) / node.SpeedFactor)
+		d := time.Duration(float64(task.SimulatedServiceTime) / sl.node.SpeedFactor)
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():
@@ -331,7 +349,7 @@ func (c *Cluster) attempt(ctx context.Context, node Node, task Task) error {
 	if task.Fn == nil {
 		return nil
 	}
-	return task.Fn(ctx, node)
+	return task.Fn(ctx, sl.node)
 }
 
 // UsageReport summarises resource consumption and its monetary cost.

@@ -183,6 +183,37 @@ func (st *aggState) update(row storage.Row) {
 	}
 }
 
+// updateAt folds row i of a columnar batch into the state, reading the
+// aggregated column through the typed vector (no boxing for the numeric
+// aggregations; min/max/count-distinct box once per considered cell, as the
+// row path does implicitly).
+func (st *aggState) updateAt(b *storage.ColumnBatch, i int) {
+	if st.spec.Kind == AggCount {
+		st.count++
+		return
+	}
+	if st.colIdx < 0 || st.colIdx >= b.Width() || b.NullAt(i, st.colIdx) {
+		return
+	}
+	st.count++
+	switch st.spec.Kind {
+	case AggSum, AggAvg, AggStdDev:
+		f, _ := b.FloatAt(i, st.colIdx)
+		st.sum += f
+		st.sumSq += f * f
+	case AggMin:
+		if v := b.Value(i, st.colIdx); st.min == nil || storage.CompareValues(v, st.min) < 0 {
+			st.min = v
+		}
+	case AggMax:
+		if v := b.Value(i, st.colIdx); st.max == nil || storage.CompareValues(v, st.max) > 0 {
+			st.max = v
+		}
+	case AggCountDistinct:
+		st.distinct[b.StringAt(i, st.colIdx)] = struct{}{}
+	}
+}
+
 // merge folds another partial state of the same aggregation into st. It is
 // the combine step of map-side aggregation: every supported aggregation is
 // algebraic (count/sum/sumSq add, min/max compare, distinct sets union), so

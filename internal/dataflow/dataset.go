@@ -14,6 +14,7 @@ package dataflow
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -26,22 +27,41 @@ var (
 	ErrIncompatible = errors.New("dataflow: incompatible schemas")
 )
 
-// Record gives user functions named access to the current row.
+// Record gives user functions named access to the current row. A record is
+// either row-backed (a boxed storage.Row) or batch-backed: a zero-copy view
+// over one row of a columnar batch. Batch-backed records resolve the typed
+// accessors (Int, Float, String, Bool) directly against the column vectors,
+// so no cell is boxed or materialised unless Value or Row is called.
 type Record struct {
 	schema *storage.Schema
 	row    storage.Row
+	batch  *storage.ColumnBatch
+	idx    int
 }
 
 // Schema returns the record's schema.
 func (r Record) Schema() *storage.Schema { return r.schema }
 
-// Row returns the underlying row; callers must not mutate it.
-func (r Record) Row() storage.Row { return r.row }
+// Row returns the underlying row; callers must not mutate it. For
+// batch-backed records this materialises (and boxes) the row — prefer the
+// named accessors on hot paths.
+func (r Record) Row() storage.Row {
+	if r.batch != nil {
+		return r.batch.Row(r.idx)
+	}
+	return r.row
+}
 
 // Value returns the raw value of the named column (nil when the column is
 // absent or null).
 func (r Record) Value(name string) storage.Value {
 	i := r.schema.IndexOf(name)
+	if r.batch != nil {
+		if i < 0 {
+			return nil
+		}
+		return r.batch.Value(r.idx, i)
+	}
 	if i < 0 || i >= len(r.row) {
 		return nil
 	}
@@ -49,28 +69,50 @@ func (r Record) Value(name string) storage.Value {
 }
 
 // String returns the named column as a string ("" when null/absent).
-func (r Record) String(name string) string { return storage.AsString(r.Value(name)) }
+func (r Record) String(name string) string {
+	if r.batch != nil {
+		return r.batch.StringAt(r.idx, r.schema.IndexOf(name))
+	}
+	return storage.AsString(r.Value(name))
+}
 
 // Int returns the named column as an int64 (0 when null or not convertible).
 func (r Record) Int(name string) int64 {
+	if r.batch != nil {
+		v, _ := r.batch.IntAt(r.idx, r.schema.IndexOf(name))
+		return v
+	}
 	v, _ := storage.AsInt(r.Value(name))
 	return v
 }
 
 // Float returns the named column as a float64 (0 when null or not convertible).
 func (r Record) Float(name string) float64 {
+	if r.batch != nil {
+		v, _ := r.batch.FloatAt(r.idx, r.schema.IndexOf(name))
+		return v
+	}
 	v, _ := storage.AsFloat(r.Value(name))
 	return v
 }
 
 // Bool returns the named column as a bool (false when null or not convertible).
 func (r Record) Bool(name string) bool {
+	if r.batch != nil {
+		v, _ := r.batch.BoolAt(r.idx, r.schema.IndexOf(name))
+		return v
+	}
 	v, _ := storage.AsBool(r.Value(name))
 	return v
 }
 
 // IsNull reports whether the named column is null or absent.
-func (r Record) IsNull(name string) bool { return r.Value(name) == nil }
+func (r Record) IsNull(name string) bool {
+	if r.batch != nil {
+		return r.batch.NullAt(r.idx, r.schema.IndexOf(name))
+	}
+	return r.Value(name) == nil
+}
 
 // User function signatures.
 type (
@@ -187,6 +229,30 @@ type sourceNode struct {
 	name       string
 	sch        *storage.Schema
 	partitions [][]storage.Row
+
+	// Columnar form of partitions, built on first vectorized execution and
+	// reused by every later action over the same (immutable) plan — the
+	// analogue of data already sitting in a columnar store.
+	batchOnce sync.Once
+	batches   []*storage.ColumnBatch
+	batchErr  error
+}
+
+// batchPartitions lazily converts the source partitions to columnar batches.
+func (s *sourceNode) batchPartitions() ([]*storage.ColumnBatch, error) {
+	s.batchOnce.Do(func() {
+		out := make([]*storage.ColumnBatch, len(s.partitions))
+		for i, p := range s.partitions {
+			b, err := storage.BatchFromRows(s.sch, p)
+			if err != nil {
+				s.batchErr = fmt.Errorf("dataflow: source %s partition %d: %w", s.name, i, err)
+				return
+			}
+			out[i] = b
+		}
+		s.batches = out
+	})
+	return s.batches, s.batchErr
 }
 
 func (s *sourceNode) schema() *storage.Schema { return s.sch }
@@ -309,6 +375,19 @@ func (d *Dataset) FlatMap(desc string, out *storage.Schema, fn FlatMapFunc) *Dat
 	return &Dataset{node: &flatMapNode{child: d.node, out: out, fn: fn, desc: desc}}
 }
 
+// projectNode keeps only the columns at the given input indices. Unlike a
+// generic map it is a pure column operation: the vectorized kernel reorders
+// column references without touching any cell.
+type projectNode struct {
+	child   planNode
+	out     *storage.Schema
+	indices []int
+}
+
+func (n *projectNode) schema() *storage.Schema { return n.out }
+func (n *projectNode) children() []planNode    { return []planNode{n.child} }
+func (n *projectNode) label() string           { return fmt.Sprintf("Project(%v)", n.out.Names()) }
+
 // Project keeps only the named columns, in the given order.
 func (d *Dataset) Project(cols ...string) *Dataset {
 	if bad, ok := d.invalid(); ok {
@@ -322,15 +401,23 @@ func (d *Dataset) Project(cols ...string) *Dataset {
 	for i, c := range cols {
 		indices[i] = d.node.schema().IndexOf(c)
 	}
-	fn := func(rec Record) (storage.Row, error) {
-		row := make(storage.Row, len(indices))
-		for i, idx := range indices {
-			row[i] = rec.row[idx]
-		}
-		return row, nil
-	}
-	return &Dataset{node: &mapNode{child: d.node, out: out, fn: fn, desc: fmt.Sprintf("project %v", cols)}}
+	return &Dataset{node: &projectNode{child: d.node, out: out, indices: indices}}
 }
+
+// withColumnNode appends one derived column computed by a user closure. The
+// vectorized kernel evaluates the closure per row over a batch view and
+// writes the results into a fresh typed vector; existing columns are shared,
+// never copied.
+type withColumnNode struct {
+	child planNode
+	out   *storage.Schema
+	field storage.Field
+	fn    ColumnFunc
+}
+
+func (n *withColumnNode) schema() *storage.Schema { return n.out }
+func (n *withColumnNode) children() []planNode    { return []planNode{n.child} }
+func (n *withColumnNode) label() string           { return "WithColumn(" + n.field.Name + ")" }
 
 // WithColumn appends a derived column computed by fn.
 func (d *Dataset) WithColumn(field storage.Field, fn ColumnFunc) *Dataset {
@@ -344,17 +431,7 @@ func (d *Dataset) WithColumn(field storage.Field, fn ColumnFunc) *Dataset {
 	if err != nil {
 		return failed(fmt.Errorf("dataflow: WithColumn: %w", err))
 	}
-	mf := func(rec Record) (storage.Row, error) {
-		v, err := fn(rec)
-		if err != nil {
-			return nil, err
-		}
-		row := make(storage.Row, len(rec.row)+1)
-		copy(row, rec.row)
-		row[len(rec.row)] = v
-		return row, nil
-	}
-	return &Dataset{node: &mapNode{child: d.node, out: out, fn: mf, desc: "with_column " + field.Name}}
+	return &Dataset{node: &withColumnNode{child: d.node, out: out, field: field, fn: fn}}
 }
 
 type sampleNode struct {

@@ -53,6 +53,109 @@ type Engine struct {
 	// mapSideDistinct enables per-partition dedup before the distinct
 	// shuffle, with the computed keys carried through it.
 	mapSideDistinct bool
+	// vectorize enables columnar batch execution: fused narrow stages run as
+	// column kernels over storage.ColumnBatch partitions and wide operators
+	// shuffle by batch index. Disabled, every partition is a []storage.Row
+	// and operators run row at a time (the ablation baseline).
+	vectorize bool
+	// strictValidate re-enables per-row schema validation of every Map and
+	// FlatMap output on the row-at-a-time paths. Off (the default), only the
+	// first output row of each partition is validated eagerly; the vectorized
+	// path always validates, because unboxing into typed vectors is the
+	// validation.
+	strictValidate bool
+}
+
+// part is one partition of intermediate data: a boxed row slice, a columnar
+// batch, or both (sources keep their original rows next to the cached batch,
+// so row-path consumers never pay a conversion). Operators that have a
+// vectorized implementation consume batches directly; everything else
+// materialises rows on demand.
+type part struct {
+	rows  []storage.Row
+	batch *storage.ColumnBatch
+}
+
+func rowPart(rows []storage.Row) part       { return part{rows: rows} }
+func batchPart(b *storage.ColumnBatch) part { return part{batch: b} }
+func (p part) isBatch() bool                { return p.batch != nil }
+func (p part) len() int {
+	if p.batch != nil {
+		return p.batch.Len()
+	}
+	return len(p.rows)
+}
+
+// toRows materialises the partition as boxed rows (free when the partition
+// carries rows already).
+func (p part) toRows() []storage.Row {
+	if p.rows != nil || p.batch == nil {
+		return p.rows
+	}
+	return p.batch.Rows()
+}
+
+// eachRow feeds the partition's rows to f, stopping on error or when f
+// reports it needs no more input. Batch-backed partitions materialise one row
+// at a time, so an early-stopping consumer (a limit-capped pipeline) never
+// pays for rows it does not pull.
+func (p part) eachRow(f func(storage.Row) (bool, error)) error {
+	if p.rows == nil && p.batch != nil {
+		for i := 0; i < p.batch.Len(); i++ {
+			more, err := f(p.batch.Row(i))
+			if err != nil || !more {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range p.rows {
+		more, err := f(r)
+		if err != nil || !more {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowParts wraps row partitions.
+func rowParts(in [][]storage.Row) []part {
+	out := make([]part, len(in))
+	for i, p := range in {
+		out[i] = rowPart(p)
+	}
+	return out
+}
+
+// partsToRows materialises every partition as boxed rows.
+func partsToRows(in []part) [][]storage.Row {
+	out := make([][]storage.Row, len(in))
+	for i, p := range in {
+		out[i] = p.toRows()
+	}
+	return out
+}
+
+// batchesOf returns the columnar form of the partitions when every one is
+// batch-backed; ok is false as soon as one partition is row-backed (the
+// caller then takes the row path).
+func batchesOf(in []part) ([]*storage.ColumnBatch, bool) {
+	out := make([]*storage.ColumnBatch, len(in))
+	for i, p := range in {
+		if p.batch == nil {
+			return nil, false
+		}
+		out[i] = p.batch
+	}
+	return out, true
+}
+
+func countParts(in []part) int {
+	total := 0
+	for _, p := range in {
+		total += p.len()
+	}
+	return total
 }
 
 // EngineOption configures engine construction.
@@ -114,6 +217,26 @@ func WithMapSideDistinct(enabled bool) EngineOption {
 	return func(e *Engine) { e.mapSideDistinct = enabled }
 }
 
+// WithVectorizedExecution toggles columnar batch execution (default on).
+// Enabled, partitions travel as typed column vectors: fused stages run batch
+// kernels (filters build selection vectors, projections and derived columns
+// are column-level operations, arbitrary user closures read through zero-copy
+// per-row views) and wide operators key and move rows by batch index.
+// Disabled, the engine runs the row-at-a-time baseline kept for ablation.
+func WithVectorizedExecution(enabled bool) EngineOption {
+	return func(e *Engine) { e.vectorize = enabled }
+}
+
+// WithStrictValidation re-enables schema validation of every Map/FlatMap
+// output row on the row-at-a-time paths (default off). With it off, only the
+// first output row of each partition is validated, which catches the common
+// mistake — a closure whose rows never match the declared schema — without
+// paying a full per-row type walk. The vectorized path always validates:
+// storing a cell into a typed column vector is the check.
+func WithStrictValidation(enabled bool) EngineOption {
+	return func(e *Engine) { e.strictValidate = enabled }
+}
+
 // NewEngine returns an engine bound to the given cluster.
 func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 	if c == nil {
@@ -129,6 +252,7 @@ func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 		broadcastJoin:      true,
 		broadcastThreshold: defaultBroadcastThreshold,
 		mapSideDistinct:    true,
+		vectorize:          true,
 	}
 	if e.shufflePartitions < 1 {
 		e.shufflePartitions = 1
@@ -169,6 +293,12 @@ type Stats struct {
 	// DistinctPrecombinedRows is the number of duplicate rows the map-side
 	// dedup pass removed before distinct shuffles.
 	DistinctPrecombinedRows int64
+	// Batches is the number of columnar batches processed by vectorized
+	// kernels (fused-stage pipelines and batch shuffles). Zero under
+	// WithVectorizedExecution(false).
+	Batches int64
+	// BatchRows is the number of rows those batches carried.
+	BatchRows int64
 	// WallTime is the end-to-end execution time of the action.
 	WallTime time.Duration
 }
@@ -224,29 +354,32 @@ func (s *execState) addPrecombined(n int) {
 	s.stats.DistinctPrecombinedRows += int64(n)
 	s.mu.Unlock()
 }
+func (s *execState) addBatches(batches, rows int) {
+	s.mu.Lock()
+	s.stats.Batches += int64(batches)
+	s.stats.BatchRows += int64(rows)
+	s.mu.Unlock()
+}
 
-// Collect executes the plan and materialises every output row.
-func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
+// execute runs the plan and returns the output partitions in their internal
+// representation, with stats finalised and metrics recorded.
+func (e *Engine) execute(ctx context.Context, d *Dataset) ([]part, *execState, error) {
 	if d == nil {
-		return nil, ErrNoSource
+		return nil, nil, ErrNoSource
 	}
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := validateWideColumns(d.node); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	st := &execState{}
 	parts, err := e.eval(ctx, d.node, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var rows []storage.Row
-	for _, p := range parts {
-		rows = append(rows, p...)
-	}
-	st.stats.RowsOutput = int64(len(rows))
+	st.stats.RowsOutput = int64(countParts(parts))
 	st.stats.WallTime = time.Since(start)
 
 	e.reg.Counter("actions").Inc()
@@ -259,19 +392,46 @@ func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
 	e.reg.Counter("joins.broadcast").Add(st.stats.BroadcastJoins)
 	e.reg.Counter("sort.sampled").Add(st.stats.SortSampledRows)
 	e.reg.Counter("distinct.precombined").Add(st.stats.DistinctPrecombinedRows)
+	e.reg.Counter("batches").Add(st.stats.Batches)
+	e.reg.Counter("batches.rows").Add(st.stats.BatchRows)
 	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
+	return parts, st, nil
+}
 
+// Collect executes the plan and materialises every output row.
+func (e *Engine) Collect(ctx context.Context, d *Dataset) (*Result, error) {
+	parts, st, err := e.execute(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	var rows []storage.Row
+	if total := countParts(parts); total > 0 {
+		rows = make([]storage.Row, 0, total)
+	}
+	for _, p := range parts {
+		rows = append(rows, p.toRows()...)
+	}
 	return &Result{Schema: d.Schema(), Rows: rows, Stats: st.stats}, nil
 }
 
 // Count executes the plan and returns the number of output rows without
-// retaining them.
+// materialising them: batch-backed output partitions are only counted, never
+// converted back to boxed rows.
 func (e *Engine) Count(ctx context.Context, d *Dataset) (int64, error) {
-	res, err := e.Collect(ctx, d)
+	_, st, err := e.execute(ctx, d)
 	if err != nil {
 		return 0, err
 	}
-	return res.Stats.RowsOutput, nil
+	return st.stats.RowsOutput, nil
+}
+
+// CountStats is Count plus the execution statistics of the action.
+func (e *Engine) CountStats(ctx context.Context, d *Dataset) (int64, Stats, error) {
+	_, st, err := e.execute(ctx, d)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return st.stats.RowsOutput, st.stats, nil
 }
 
 // validateWideColumns walks the plan and verifies that every column a wide
@@ -326,33 +486,40 @@ func validateWideColumns(node planNode) error {
 	return nil
 }
 
-// eval recursively executes a plan node, returning partitioned rows. With
-// fusion enabled, a maximal chain of narrow operators ending at node executes
-// as one fused stage (one cluster job, one composed row pipeline per
-// partition) instead of one job plus a full materialisation per operator.
-func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([][]storage.Row, error) {
+// eval recursively executes a plan node, returning its output partitions.
+// With fusion enabled, a maximal chain of narrow operators ending at node
+// executes as one fused stage (one cluster job per stage); under vectorized
+// execution the stage runs batch kernels over columnar partitions, otherwise
+// one composed row pipeline per partition.
+func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([]part, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if e.fuse {
 		if ch, ok := narrowChainOf(node); ok {
+			// Chains capped by a trailing limit keep the pull-based row
+			// pipeline: its per-partition early stop (quit as soon as limit
+			// rows were emitted) is worth more than any kernel, and batch
+			// kernels would eagerly process whole partitions.
+			if e.vectorize && ch.limit < 0 {
+				return e.evalFusedVectorized(ctx, ch, st)
+			}
 			return e.evalFused(ctx, ch, st)
 		}
 	}
 	switch n := node.(type) {
 	case *sourceNode:
-		total := 0
-		for _, p := range n.partitions {
-			total += len(p)
-		}
-		st.addRead(total)
-		return n.partitions, nil
+		return e.evalSource(n, st)
 	case *filterNode:
 		return e.evalFilter(ctx, n, st)
 	case *mapNode:
 		return e.evalMap(ctx, n, st)
 	case *flatMapNode:
 		return e.evalFlatMap(ctx, n, st)
+	case *projectNode:
+		return e.evalProject(ctx, n, st)
+	case *withColumnNode:
+		return e.evalWithColumn(ctx, n, st)
 	case *sampleNode:
 		return e.evalSample(ctx, n, st)
 	case *unionNode:
@@ -364,7 +531,7 @@ func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([][]st
 		if err != nil {
 			return nil, err
 		}
-		return append(append([][]storage.Row{}, left...), right...), nil
+		return append(append([]part{}, left...), right...), nil
 	case *limitNode:
 		return e.evalLimit(ctx, n, st)
 	case *distinctNode:
@@ -380,10 +547,35 @@ func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([][]st
 	}
 }
 
+// evalSource returns the source partitions: columnar batches under vectorized
+// execution (converted once per plan and cached), boxed rows otherwise.
+func (e *Engine) evalSource(n *sourceNode, st *execState) ([]part, error) {
+	total := 0
+	for _, p := range n.partitions {
+		total += len(p)
+	}
+	st.addRead(total)
+	if e.vectorize {
+		batches, err := n.batchPartitions()
+		if err != nil {
+			return nil, err
+		}
+		st.addBatches(len(batches), total)
+		out := make([]part, len(batches))
+		for i, b := range batches {
+			// Source parts carry both representations: batch consumers take
+			// the columnar form, row consumers reuse the original rows.
+			out[i] = part{rows: n.partitions[i], batch: b}
+		}
+		return out, nil
+	}
+	return rowParts(n.partitions), nil
+}
+
 // runPerPartition executes fn once per input partition as parallel cluster
-// tasks and returns the produced partitions in input order.
+// tasks and returns the produced row partitions in input order.
 func (e *Engine) runPerPartition(ctx context.Context, name string, in [][]storage.Row, st *execState,
-	fn func(partIdx int, rows []storage.Row) ([]storage.Row, error)) ([][]storage.Row, error) {
+	fn func(partIdx int, rows []storage.Row) ([]storage.Row, error)) ([]part, error) {
 
 	out := make([][]storage.Row, len(in))
 	tasks := make([]cluster.Task, len(in))
@@ -405,71 +597,115 @@ func (e *Engine) runPerPartition(ctx context.Context, name string, in [][]storag
 	if _, err := e.cluster.RunNamedJob(ctx, name, tasks); err != nil {
 		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
 	}
-	return out, nil
+	return rowParts(out), nil
+}
+
+// validateHead checks row against the schema only when it is the first output
+// of its partition (i == 0) or strict validation is on. ctx is the error
+// prefix ("map output", "flatmap output").
+func (e *Engine) validateHead(what string, schema *storage.Schema, row storage.Row, i int) error {
+	if i > 0 && !e.strictValidate {
+		return nil
+	}
+	if err := storage.ValidateRow(schema, row); err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	return nil
 }
 
 // evalFused executes a fused chain of narrow operators as one cluster job
 // with one task per input partition. Each task pushes its partition's rows
 // through the composed pipeline, so per-operator intermediate partitions are
-// never materialised, and a trailing limit stops the partition early.
-func (e *Engine) evalFused(ctx context.Context, ch fusedChain, st *execState) ([][]storage.Row, error) {
+// never materialised, and a trailing limit stops the partition early —
+// batch-backed inputs are pulled one row at a time, so rows past the stop
+// are never even boxed.
+func (e *Engine) evalFused(ctx context.Context, ch fusedChain, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, ch.base, st)
 	if err != nil {
 		return nil, err
 	}
 	name := ch.name()
-	out, err := e.runPerPartition(ctx, name, in, st, func(idx int, rows []storage.Row) ([]storage.Row, error) {
-		if ch.limit == 0 {
-			return nil, nil
+	out := make([][]storage.Row, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("%s[%d]", name, i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				if ch.limit == 0 {
+					return nil
+				}
+				var res []storage.Row
+				sink := func(r storage.Row) (bool, error) {
+					res = append(res, r)
+					return ch.limit < 0 || len(res) < ch.limit, nil
+				}
+				if err := in[i].eachRow(ch.compile(e, i, sink)); err != nil {
+					return fmt.Errorf("%w: %v", ErrUDF, err)
+				}
+				out[i] = res
+				return nil
+			},
 		}
-		var res []storage.Row
-		sink := func(r storage.Row) (bool, error) {
-			res = append(res, r)
-			return ch.limit < 0 || len(res) < ch.limit, nil
-		}
-		pipe := ch.compile(idx, sink)
-		for _, r := range rows {
-			more, err := pipe(r)
-			if err != nil {
-				return nil, err
-			}
-			if !more {
-				break
-			}
-		}
-		return res, nil
-	})
-	if err != nil {
-		return nil, err
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, name, tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
 	}
 	if len(ch.ops) > 1 {
 		st.addFused()
 	}
 	if ch.limit >= 0 {
-		// Global truncation in partition order, matching Limit's semantics
-		// of a single output partition.
-		capped := make([]storage.Row, 0, ch.limit)
-		for _, p := range out {
-			for _, r := range p {
-				if len(capped) >= ch.limit {
-					return [][]storage.Row{capped}, nil
-				}
-				capped = append(capped, r)
-			}
-		}
-		return [][]storage.Row{capped}, nil
+		return truncateParts(rowParts(out), ch.limit), nil
 	}
-	return out, nil
+	return rowParts(out), nil
 }
 
-func (e *Engine) evalFilter(ctx context.Context, n *filterNode, st *execState) ([][]storage.Row, error) {
+// truncateParts keeps the first limit rows in partition order, collapsing the
+// output into a single partition (Limit's semantics). Batch partitions are
+// truncated as zero-copy head views.
+func truncateParts(in []part, limit int) []part {
+	kept := make([]part, 0, len(in))
+	remaining := limit
+	for _, p := range in {
+		if remaining <= 0 {
+			break
+		}
+		n := p.len()
+		if n == 0 {
+			continue
+		}
+		if n > remaining {
+			if p.isBatch() {
+				p = batchPart(p.batch.Head(remaining))
+			} else {
+				p = rowPart(p.rows[:remaining])
+			}
+			n = remaining
+		}
+		kept = append(kept, p)
+		remaining -= n
+	}
+	// Collapse into one partition to preserve Limit's single-partition
+	// contract; row-backed pieces concatenate, a single batch stays columnar.
+	if len(kept) == 1 {
+		return kept
+	}
+	rows := make([]storage.Row, 0, limit-remaining)
+	for _, p := range kept {
+		rows = append(rows, p.toRows()...)
+	}
+	return []part{rowPart(rows)}
+}
+
+func (e *Engine) evalFilter(ctx context.Context, n *filterNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
 	schema := n.child.schema()
-	return e.runPerPartition(ctx, "filter", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
-		var out []storage.Row
+	return e.runPerPartition(ctx, "filter", partsToRows(in), st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		out := make([]storage.Row, 0, len(rows))
 		for _, r := range rows {
 			keep, err := n.fn(Record{schema: schema, row: r})
 			if err != nil {
@@ -483,22 +719,22 @@ func (e *Engine) evalFilter(ctx context.Context, n *filterNode, st *execState) (
 	})
 }
 
-func (e *Engine) evalMap(ctx context.Context, n *mapNode, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalMap(ctx context.Context, n *mapNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
 	schema := n.child.schema()
 	out := n.out
-	return e.runPerPartition(ctx, "map", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+	return e.runPerPartition(ctx, "map", partsToRows(in), st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
 		res := make([]storage.Row, 0, len(rows))
-		for _, r := range rows {
+		for i, r := range rows {
 			nr, err := n.fn(Record{schema: schema, row: r})
 			if err != nil {
 				return nil, err
 			}
-			if err := storage.ValidateRow(out, nr); err != nil {
-				return nil, fmt.Errorf("map output: %w", err)
+			if err := e.validateHead("map output", out, nr, i); err != nil {
+				return nil, err
 			}
 			res = append(res, nr)
 		}
@@ -506,14 +742,14 @@ func (e *Engine) evalMap(ctx context.Context, n *mapNode, st *execState) ([][]st
 	})
 }
 
-func (e *Engine) evalFlatMap(ctx context.Context, n *flatMapNode, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalFlatMap(ctx context.Context, n *flatMapNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
 	schema := n.child.schema()
 	out := n.out
-	return e.runPerPartition(ctx, "flatmap", in, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+	return e.runPerPartition(ctx, "flatmap", partsToRows(in), st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
 		var res []storage.Row
 		for _, r := range rows {
 			produced, err := n.fn(Record{schema: schema, row: r})
@@ -521,8 +757,8 @@ func (e *Engine) evalFlatMap(ctx context.Context, n *flatMapNode, st *execState)
 				return nil, err
 			}
 			for _, nr := range produced {
-				if err := storage.ValidateRow(out, nr); err != nil {
-					return nil, fmt.Errorf("flatmap output: %w", err)
+				if err := e.validateHead("flatmap output", out, nr, len(res)); err != nil {
+					return nil, err
 				}
 				res = append(res, nr)
 			}
@@ -531,14 +767,59 @@ func (e *Engine) evalFlatMap(ctx context.Context, n *flatMapNode, st *execState)
 	})
 }
 
-func (e *Engine) evalSample(ctx context.Context, n *sampleNode, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalProject(ctx context.Context, n *projectNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
-	return e.runPerPartition(ctx, "sample", in, st, func(idx int, rows []storage.Row) ([]storage.Row, error) {
+	return e.runPerPartition(ctx, "project", partsToRows(in), st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		res := make([]storage.Row, 0, len(rows))
+		for _, r := range rows {
+			row := make(storage.Row, len(n.indices))
+			for i, idx := range n.indices {
+				row[i] = r[idx]
+			}
+			res = append(res, row)
+		}
+		return res, nil
+	})
+}
+
+func (e *Engine) evalWithColumn(ctx context.Context, n *withColumnNode, st *execState) ([]part, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.child.schema()
+	return e.runPerPartition(ctx, "with_column", partsToRows(in), st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
+		res := make([]storage.Row, 0, len(rows))
+		for i, r := range rows {
+			v, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || e.strictValidate {
+				if err := storage.ValidateCell(n.field, v); err != nil {
+					return nil, fmt.Errorf("with_column output: %w", err)
+				}
+			}
+			row := make(storage.Row, len(r)+1)
+			copy(row, r)
+			row[len(r)] = v
+			res = append(res, row)
+		}
+		return res, nil
+	})
+}
+
+func (e *Engine) evalSample(ctx context.Context, n *sampleNode, st *execState) ([]part, error) {
+	in, err := e.eval(ctx, n.child, st)
+	if err != nil {
+		return nil, err
+	}
+	return e.runPerPartition(ctx, "sample", partsToRows(in), st, func(idx int, rows []storage.Row) ([]storage.Row, error) {
 		rng := rand.New(rand.NewSource(n.seed + int64(idx)))
-		var out []storage.Row
+		out := make([]storage.Row, 0, len(rows))
 		for _, r := range rows {
 			if rng.Float64() < n.fraction {
 				out = append(out, r)
@@ -548,21 +829,16 @@ func (e *Engine) evalSample(ctx context.Context, n *sampleNode, st *execState) (
 	})
 }
 
-func (e *Engine) evalLimit(ctx context.Context, n *limitNode, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalLimit(ctx context.Context, n *limitNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]storage.Row, 0, n.n)
-	for _, p := range in {
-		for _, r := range p {
-			if len(out) >= n.n {
-				return [][]storage.Row{out}, nil
-			}
-			out = append(out, r)
-		}
+	out := truncateParts(in, n.n)
+	if len(out) == 0 {
+		return []part{rowPart(nil)}, nil
 	}
-	return [][]storage.Row{out}, nil
+	return out, nil
 }
 
 // countRows sums the partition sizes.
@@ -616,6 +892,47 @@ func (e *Engine) shuffleRows(in [][]storage.Row, enc *storage.KeyEncoder, st *ex
 	return buckets
 }
 
+// shuffleBatches hash-partitions columnar batches on keys encoded straight
+// from the column vectors: per input batch a selection vector is computed per
+// target bucket and the buckets are built with typed copies, so no boxed Row
+// is ever materialised on either side of the shuffle.
+func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schema,
+	enc *storage.KeyEncoder, st *execState) []*storage.ColumnBatch {
+
+	st.addStage()
+	nParts := e.shufflePartitions
+	total := 0
+	// Pass 1: bucket assignment per (batch, row), plus per-bucket counts for
+	// exact pre-sizing.
+	assign := make([][]int32, len(in))
+	counts := make([]int, nParts)
+	local := enc.Clone()
+	for bi, b := range in {
+		n := b.Len()
+		total += n
+		a := make([]int32, n)
+		for i := 0; i < n; i++ {
+			p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
+			a[i] = int32(p)
+			counts[p]++
+		}
+		assign[bi] = a
+	}
+	// Pass 2: gather rows into pre-sized bucket batches by batch index.
+	buckets := make([]*storage.ColumnBatch, nParts)
+	for p := range buckets {
+		buckets[p] = storage.NewColumnBatch(schema, counts[p])
+	}
+	for bi, b := range in {
+		for i, p := range assign[bi] {
+			buckets[p].AppendRowFrom(b, i)
+		}
+	}
+	st.addShuffled(total)
+	st.addBatches(len(buckets), total)
+	return buckets
+}
+
 // ---------------------------------------------------------------------------
 // Distinct
 // ---------------------------------------------------------------------------
@@ -629,7 +946,7 @@ type keyedRow struct {
 	row  storage.Row
 }
 
-func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execState) ([][]storage.Row, error) {
+func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execState) ([]part, error) {
 	in, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
@@ -638,12 +955,17 @@ func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execStat
 	if err != nil {
 		return nil, fmt.Errorf("dataflow: distinct: %w", err)
 	}
+	if e.vectorize {
+		if batches, ok := batchesOf(in); ok {
+			return e.evalDistinctBatch(ctx, n.child.schema(), batches, enc, st)
+		}
+	}
 	if e.mapSideDistinct {
-		return e.evalDistinctCombined(ctx, in, enc, st)
+		return e.evalDistinctCombined(ctx, partsToRows(in), enc, st)
 	}
 	// Baseline: every row crosses the shuffle and is keyed again on the
 	// reduce side.
-	buckets := e.shuffleRows(in, enc, st)
+	buckets := e.shuffleRows(partsToRows(in), enc, st)
 	return e.runPerPartition(ctx, "distinct", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
 		local := enc.Clone()
 		seen := make(map[string]struct{}, len(rows))
@@ -667,7 +989,7 @@ func (e *Engine) evalDistinct(ctx context.Context, n *distinctNode, st *execStat
 // the group-by combine pass, the removed rows are reported as
 // DistinctPrecombinedRows.
 func (e *Engine) evalDistinctCombined(ctx context.Context, in [][]storage.Row,
-	enc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+	enc *storage.KeyEncoder, st *execState) ([]part, error) {
 
 	// Map side: one task per input partition dedups locally.
 	partials := make([][]keyedRow, len(in))
@@ -737,7 +1059,7 @@ func (e *Engine) evalDistinctCombined(ctx context.Context, in [][]storage.Row,
 	if _, err := e.cluster.RunNamedJob(ctx, "distinct-merge", mergeTasks); err != nil {
 		return nil, fmt.Errorf("dataflow: distinct-merge: %w", err)
 	}
-	return out, nil
+	return rowParts(out), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -770,8 +1092,8 @@ func rowComparator(schema *storage.Schema, orders []SortOrder) (func(a, b storag
 	}, nil
 }
 
-func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]storage.Row, error) {
-	in, err := e.eval(ctx, n.child, st)
+func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([]part, error) {
+	parts, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
@@ -779,6 +1101,10 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]
 	if err != nil {
 		return nil, err
 	}
+	// Sorting is compare-dominated, not allocation-dominated, so the sort
+	// executes row at a time in every mode; batch-backed inputs are
+	// materialised here (see DESIGN.md §2.6 for the follow-on).
+	in := partsToRows(parts)
 	total := countRows(in)
 	if e.rangeSort && e.shufflePartitions > 1 && total > e.shufflePartitions*rangeSortMinRowsPerPartition {
 		return e.evalSortRange(ctx, in, total, cmp, st)
@@ -806,7 +1132,7 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([][]
 // stability is preserved: the shuffle keeps input order within each
 // partition, and rows comparing equal to a split point all land on its right.
 func (e *Engine) evalSortRange(ctx context.Context, in [][]storage.Row, total int,
-	cmp func(a, b storage.Row) int, st *execState) ([][]storage.Row, error) {
+	cmp func(a, b storage.Row) int, st *execState) ([]part, error) {
 
 	// Sample deterministically: a fixed stride over the input approximates
 	// the key distribution without an RNG, so repeated runs pick identical
@@ -854,8 +1180,8 @@ func (e *Engine) evalSortRange(ctx context.Context, in [][]storage.Row, total in
 // Group-by
 // ---------------------------------------------------------------------------
 
-func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState) ([][]storage.Row, error) {
-	in, err := e.eval(ctx, n.child, st)
+func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState) ([]part, error) {
+	parts, err := e.eval(ctx, n.child, st)
 	if err != nil {
 		return nil, err
 	}
@@ -864,6 +1190,12 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 	if err != nil {
 		return nil, fmt.Errorf("dataflow: group-by: %w", err)
 	}
+	if e.vectorize && e.combine {
+		if batches, ok := batchesOf(parts); ok {
+			return e.evalGroupByCombinedBatch(ctx, n, batches, enc, st)
+		}
+	}
+	in := partsToRows(parts)
 	if e.combine {
 		return e.evalGroupByCombined(ctx, n, in, enc, st)
 	}
@@ -930,7 +1262,7 @@ type partialGroup struct {
 // final rows. When keys repeat within partitions this shuffles far fewer
 // rows than the row-at-a-time path.
 func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][]storage.Row,
-	enc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+	enc *storage.KeyEncoder, st *execState) ([]part, error) {
 
 	inSchema := n.child.schema()
 	keyIdx := make([]int, len(n.keys))
@@ -981,6 +1313,15 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 	if _, err := e.cluster.RunNamedJob(ctx, "groupby-combine", tasks); err != nil {
 		return nil, fmt.Errorf("dataflow: groupby-combine: %w", err)
 	}
+	return e.mergeGroupPartials(ctx, partials, inputRows, st)
+}
+
+// mergeGroupPartials is the shared tail of the combined group-by: shuffle the
+// partial groups (which carry their keys and hashes) into pre-sized buckets
+// and merge them per key, emitting the final rows. Both the row-at-a-time and
+// the columnar map sides feed it.
+func (e *Engine) mergeGroupPartials(ctx context.Context, partials [][]*partialGroup,
+	inputRows int, st *execState) ([]part, error) {
 
 	// Shuffle partial groups instead of raw rows, into pre-sized buckets.
 	st.addStage()
@@ -1030,19 +1371,19 @@ func (e *Engine) evalGroupByCombined(ctx context.Context, n *groupByNode, in [][
 	if _, err := e.cluster.RunNamedJob(ctx, "groupby-merge", mergeTasks); err != nil {
 		return nil, fmt.Errorf("dataflow: groupby-merge: %w", err)
 	}
-	return out, nil
+	return rowParts(out), nil
 }
 
 // ---------------------------------------------------------------------------
 // Join
 // ---------------------------------------------------------------------------
 
-func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]storage.Row, error) {
-	left, err := e.eval(ctx, n.left, st)
+func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([]part, error) {
+	leftParts, err := e.eval(ctx, n.left, st)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.eval(ctx, n.right, st)
+	rightParts, err := e.eval(ctx, n.right, st)
 	if err != nil {
 		return nil, err
 	}
@@ -1055,6 +1396,14 @@ func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]
 	if err != nil {
 		return nil, fmt.Errorf("dataflow: join (right): %w", err)
 	}
+	if e.vectorize {
+		lb, lok := batchesOf(leftParts)
+		rb, rok := batchesOf(rightParts)
+		if lok && rok {
+			return e.evalJoinBatch(ctx, n, lb, rb, lEnc, rEnc, st)
+		}
+	}
+	left, right := partsToRows(leftParts), partsToRows(rightParts)
 	if e.broadcastJoin && countRows(right) <= e.broadcastThreshold {
 		return e.evalJoinBroadcast(ctx, n, left, right, lEnc, rEnc, st)
 	}
@@ -1075,7 +1424,7 @@ func (e *Engine) evalJoin(ctx context.Context, n *joinNode, st *execState) ([][]
 // side is small enough to replicate, so one task builds its hash table and
 // every left partition probes it in place, preserving the left partitioning.
 func (e *Engine) evalJoinBroadcast(ctx context.Context, n *joinNode,
-	left, right [][]storage.Row, lEnc, rEnc *storage.KeyEncoder, st *execState) ([][]storage.Row, error) {
+	left, right [][]storage.Row, lEnc, rEnc *storage.KeyEncoder, st *execState) ([]part, error) {
 
 	st.addBroadcast()
 	// Build once as a single cluster task — the simulated analogue of

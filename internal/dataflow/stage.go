@@ -53,6 +53,12 @@ func narrowChainOf(node planNode) (fusedChain, bool) {
 		case *flatMapNode:
 			ch.ops = append(ch.ops, n)
 			cur = n.child
+		case *projectNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
+		case *withColumnNode:
+			ch.ops = append(ch.ops, n)
+			cur = n.child
 		case *sampleNode:
 			ch.ops = append(ch.ops, n)
 			cur = n.child
@@ -76,6 +82,10 @@ func opKind(op planNode) string {
 		return "map"
 	case *flatMapNode:
 		return "flatmap"
+	case *projectNode:
+		return "project"
+	case *withColumnNode:
+		return "with_column"
 	case *sampleNode:
 		return "sample"
 	default:
@@ -101,17 +111,18 @@ func (ch fusedChain) name() string {
 type emitFunc func(storage.Row) (bool, error)
 
 // compile composes the chain's operators for one partition over the terminal
-// sink, returning the pipeline head. Per-partition state (the sample RNG) is
-// created here, so compile must be called inside the partition's task.
-func (ch fusedChain) compile(partIdx int, sink emitFunc) emitFunc {
+// sink, returning the pipeline head. Per-partition state (the sample RNG, the
+// rows-emitted validation counters) is created here, so compile must be
+// called inside the partition's task.
+func (ch fusedChain) compile(e *Engine, partIdx int, sink emitFunc) emitFunc {
 	next := sink
 	for i := len(ch.ops) - 1; i >= 0; i-- {
-		next = compileOp(ch.ops[i], partIdx, next)
+		next = compileOp(e, ch.ops[i], partIdx, next)
 	}
 	return next
 }
 
-func compileOp(op planNode, partIdx int, next emitFunc) emitFunc {
+func compileOp(e *Engine, op planNode, partIdx int, next emitFunc) emitFunc {
 	switch n := op.(type) {
 	case *filterNode:
 		schema := n.child.schema()
@@ -128,34 +139,65 @@ func compileOp(op planNode, partIdx int, next emitFunc) emitFunc {
 	case *mapNode:
 		schema := n.child.schema()
 		out := n.out
+		emitted := 0
 		return func(r storage.Row) (bool, error) {
 			nr, err := n.fn(Record{schema: schema, row: r})
 			if err != nil {
 				return false, err
 			}
-			if err := storage.ValidateRow(out, nr); err != nil {
-				return false, fmt.Errorf("map output: %w", err)
+			if err := e.validateHead("map output", out, nr, emitted); err != nil {
+				return false, err
 			}
+			emitted++
 			return next(nr)
 		}
 	case *flatMapNode:
 		schema := n.child.schema()
 		out := n.out
+		emitted := 0
 		return func(r storage.Row) (bool, error) {
 			produced, err := n.fn(Record{schema: schema, row: r})
 			if err != nil {
 				return false, err
 			}
 			for _, nr := range produced {
-				if err := storage.ValidateRow(out, nr); err != nil {
-					return false, fmt.Errorf("flatmap output: %w", err)
+				if err := e.validateHead("flatmap output", out, nr, emitted); err != nil {
+					return false, err
 				}
+				emitted++
 				more, err := next(nr)
 				if err != nil || !more {
 					return more, err
 				}
 			}
 			return true, nil
+		}
+	case *projectNode:
+		return func(r storage.Row) (bool, error) {
+			row := make(storage.Row, len(n.indices))
+			for i, idx := range n.indices {
+				row[i] = r[idx]
+			}
+			return next(row)
+		}
+	case *withColumnNode:
+		schema := n.child.schema()
+		emitted := 0
+		return func(r storage.Row) (bool, error) {
+			v, err := n.fn(Record{schema: schema, row: r})
+			if err != nil {
+				return false, err
+			}
+			if emitted == 0 || e.strictValidate {
+				if err := storage.ValidateCell(n.field, v); err != nil {
+					return false, fmt.Errorf("with_column output: %w", err)
+				}
+			}
+			emitted++
+			row := make(storage.Row, len(r)+1)
+			copy(row, r)
+			row[len(r)] = v
+			return next(row)
 		}
 	case *sampleNode:
 		rng := rand.New(rand.NewSource(n.seed + int64(partIdx)))
@@ -185,11 +227,25 @@ func (e *Engine) Explain(d *Dataset) string {
 		return fmt.Sprintf("<invalid plan: %v>", err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, shufflePartitions=%d)\n",
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, shufflePartitions=%d)\n",
 		onOff(e.fuse), onOff(e.combine), onOff(e.rangeSort),
-		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct), e.shufflePartitions)
+		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct),
+		onOff(e.vectorize), e.shufflePartitions)
+	fmt.Fprintf(&sb, "  execution mode: %s\n", e.executionMode())
 	e.explainNode(&sb, d.node, 1)
 	return sb.String()
+}
+
+// executionMode names the engine's narrow-operator execution strategy.
+func (e *Engine) executionMode() string {
+	switch {
+	case e.fuse && e.vectorize:
+		return "vectorized (columnar batches)"
+	case e.fuse:
+		return "row-at-a-time (fused)"
+	default:
+		return "row-at-a-time (per-operator)"
+	}
 }
 
 // estimateMaxRows returns a static upper bound on the number of rows node can
@@ -209,6 +265,10 @@ func estimateMaxRows(node planNode) (int, bool) {
 	case *filterNode:
 		return estimateMaxRows(n.child)
 	case *mapNode:
+		return estimateMaxRows(n.child)
+	case *projectNode:
+		return estimateMaxRows(n.child)
+	case *withColumnNode:
 		return estimateMaxRows(n.child)
 	case *sampleNode:
 		return estimateMaxRows(n.child)
@@ -254,6 +314,11 @@ func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
 			line := fmt.Sprintf("FusedStage(ops=%d: %s)", len(ch.ops), strings.Join(labels, " → "))
 			if ch.limit >= 0 {
 				line += fmt.Sprintf(" +Limit(%d)", ch.limit)
+			}
+			// Limit-capped chains always run the row pipeline (see eval), so
+			// only uncapped chains are tagged with the batch-kernel strategy.
+			if e.vectorize && ch.limit < 0 {
+				line += " [vectorized]"
 			}
 			sb.WriteString(indent + line + "\n")
 			e.explainNode(sb, ch.base, depth+1)

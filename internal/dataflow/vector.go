@@ -1,0 +1,555 @@
+package dataflow
+
+// vector.go implements the columnar execution paths of the engine. Under
+// WithVectorizedExecution (the default) partitions travel between operators
+// as storage.ColumnBatch values instead of []storage.Row:
+//
+//   - A fused narrow stage runs as a chain of batch kernels. Filter and
+//     Sample evaluate their predicate per row through a zero-copy batch view
+//     and emit a selection vector — no row is copied or boxed. Project
+//     re-points column references and WithColumn appends one freshly
+//     computed typed vector; in both cases unaffected columns are shared
+//     with the input batch. Arbitrary Map/FlatMap closures fall back to
+//     per-row batch views and their output rows are unboxed straight into a
+//     new batch (which validates them against the output schema for free).
+//   - Wide operators key rows directly from the column vectors
+//     (KeyEncoder.BatchKey/BatchHash) and move rows by batch index with
+//     typed copies (shuffleBatches, ColumnBatch.Gather), so the shuffle
+//     never materialises a boxed Row either.
+//
+// Sorting stays row-at-a-time in every mode: it is compare-dominated and its
+// shuffle moves row pointers, so batches are materialised at the sort
+// boundary (typed sort keys are a ROADMAP follow-on).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// toBatch returns the partition in columnar form, converting row-backed
+// partitions (wide-operator outputs, unions of mixed plans) on the fly.
+func toBatch(p part, schema *storage.Schema) (*storage.ColumnBatch, error) {
+	if p.batch != nil {
+		return p.batch, nil
+	}
+	return storage.BatchFromRows(schema, p.rows)
+}
+
+func countBatchRows(in []*storage.ColumnBatch) int {
+	total := 0
+	for _, b := range in {
+		total += b.Len()
+	}
+	return total
+}
+
+// eachSel calls f for every selected row index: all rows of an n-row batch
+// when sel is nil, the selected rows otherwise.
+func eachSel(n int, sel []int32, f func(i int) error) error {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range sel {
+		if err := f(int(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func selLen(n int, sel []int32) int {
+	if sel == nil {
+		return n
+	}
+	return len(sel)
+}
+
+// evalFusedVectorized executes a fused chain of narrow operators as one
+// cluster job whose tasks run batch kernels (one task per input partition).
+// Limit-capped chains never reach it (see eval): they keep the row pipeline
+// for its early stop.
+func (e *Engine) evalFusedVectorized(ctx context.Context, ch fusedChain, st *execState) ([]part, error) {
+	in, err := e.eval(ctx, ch.base, st)
+	if err != nil {
+		return nil, err
+	}
+	baseSchema := ch.base.schema()
+	name := ch.name()
+	out := make([]part, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("%s[%d]", name, i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				b, err := toBatch(in[i], baseSchema)
+				if err != nil {
+					return err
+				}
+				res, err := e.runVectorizedChain(ch, i, b)
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrUDF, err)
+				}
+				out[i] = batchPart(res)
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, name, tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
+	}
+	st.addBatches(len(out), countParts(out))
+	if len(ch.ops) > 1 {
+		st.addFused()
+	}
+	return out, nil
+}
+
+// runVectorizedChain pushes one batch through the chain's kernels. The
+// current state is a batch plus an optional selection vector (nil = every
+// row); filters only narrow the selection, and the selection is materialised
+// (gathered) lazily — when a kernel needs aligned columns or at the end of
+// the chain.
+func (e *Engine) runVectorizedChain(ch fusedChain, partIdx int, b *storage.ColumnBatch) (*storage.ColumnBatch, error) {
+	cur := b
+	var sel []int32
+	for _, op := range ch.ops {
+		switch n := op.(type) {
+		case *filterNode:
+			schema := n.child.schema()
+			next := make([]int32, 0, selLen(cur.Len(), sel))
+			err := eachSel(cur.Len(), sel, func(i int) error {
+				keep, err := n.fn(Record{schema: schema, batch: cur, idx: i})
+				if err != nil {
+					return err
+				}
+				if keep {
+					next = append(next, int32(i))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			sel = next
+		case *sampleNode:
+			rng := rand.New(rand.NewSource(n.seed + int64(partIdx)))
+			next := make([]int32, 0, selLen(cur.Len(), sel))
+			_ = eachSel(cur.Len(), sel, func(i int) error {
+				if rng.Float64() < n.fraction {
+					next = append(next, int32(i))
+				}
+				return nil
+			})
+			sel = next
+		case *projectNode:
+			// Pure column operation: re-point the projected columns, leave
+			// the selection untouched. No cell is read, copied or boxed.
+			cur = cur.ProjectCols(n.out, n.indices)
+		case *withColumnNode:
+			// The derived column must align with the batch's rows, so a
+			// pending selection is materialised first; the existing columns
+			// are then shared, only the new vector is written.
+			if sel != nil {
+				cur = cur.Gather(sel)
+				sel = nil
+			}
+			schema := n.child.schema()
+			col := storage.NewColumnBuilder(n.field.Type, cur.Len())
+			for i := 0; i < cur.Len(); i++ {
+				v, err := n.fn(Record{schema: schema, batch: cur, idx: i})
+				if err != nil {
+					return nil, err
+				}
+				if err := col.AppendValue(n.field, v, i); err != nil {
+					return nil, fmt.Errorf("with_column output: %w", err)
+				}
+			}
+			cur = cur.WithAppendedColumn(n.out, col)
+		case *mapNode:
+			schema := n.child.schema()
+			next := storage.NewColumnBatch(n.out, selLen(cur.Len(), sel))
+			err := eachSel(cur.Len(), sel, func(i int) error {
+				nr, err := n.fn(Record{schema: schema, batch: cur, idx: i})
+				if err != nil {
+					return err
+				}
+				if err := next.AppendRow(nr); err != nil {
+					return fmt.Errorf("map output: %w", err)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			cur, sel = next, nil
+		case *flatMapNode:
+			schema := n.child.schema()
+			next := storage.NewColumnBatch(n.out, selLen(cur.Len(), sel))
+			err := eachSel(cur.Len(), sel, func(i int) error {
+				produced, err := n.fn(Record{schema: schema, batch: cur, idx: i})
+				if err != nil {
+					return err
+				}
+				for _, nr := range produced {
+					if err := next.AppendRow(nr); err != nil {
+						return fmt.Errorf("flatmap output: %w", err)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			cur, sel = next, nil
+		default:
+			return nil, fmt.Errorf("%w: operator %T cannot be vectorized", ErrBadPlan, op)
+		}
+	}
+	if sel != nil {
+		cur = cur.Gather(sel)
+	}
+	return cur, nil
+}
+
+// ---------------------------------------------------------------------------
+// Distinct (batch)
+// ---------------------------------------------------------------------------
+
+// keyedBatch carries deduped survivor rows of one partition together with
+// their key encodings and hashes across the distinct shuffle, the columnar
+// analogue of []keyedRow.
+type keyedBatch struct {
+	batch  *storage.ColumnBatch
+	keys   []string
+	hashes []uint64
+}
+
+// evalDistinctBatch implements distinct over columnar partitions. With
+// map-side dedup on, each partition dedups locally (keying every row exactly
+// once, straight from the column vectors), only the surviving rows cross the
+// shuffle — gathered by batch index, with their keys carried — and the merge
+// side dedups on the carried keys. The baseline shuffles every row and keys
+// again on the reduce side.
+func (e *Engine) evalDistinctBatch(ctx context.Context, schema *storage.Schema,
+	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	if !e.mapSideDistinct {
+		buckets := e.shuffleBatches(in, schema, enc, st)
+		out := make([]part, len(buckets))
+		tasks := make([]cluster.Task, len(buckets))
+		for bi := range buckets {
+			bi := bi
+			tasks[bi] = cluster.Task{
+				Name: fmt.Sprintf("distinct[%d]", bi),
+				Fn: func(ctx context.Context, node cluster.Node) error {
+					b := buckets[bi]
+					local := enc.Clone()
+					seen := make(map[string]struct{}, b.Len())
+					sel := make([]int32, 0, b.Len())
+					for i := 0; i < b.Len(); i++ {
+						k := local.BatchKey(b, i)
+						if _, dup := seen[string(k)]; dup {
+							continue
+						}
+						seen[string(k)] = struct{}{}
+						sel = append(sel, int32(i))
+					}
+					out[bi] = batchPart(b.Gather(sel))
+					return nil
+				},
+			}
+		}
+		st.addTasks(len(tasks))
+		if _, err := e.cluster.RunNamedJob(ctx, "distinct", tasks); err != nil {
+			return nil, fmt.Errorf("dataflow: distinct: %w", err)
+		}
+		return out, nil
+	}
+
+	// Map side: one task per input batch dedups locally and gathers the
+	// survivors with their keys.
+	partials := make([]keyedBatch, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("distinct-combine[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				b := in[i]
+				local := enc.Clone()
+				seen := make(map[string]struct{}, 64)
+				var sel []int32
+				var keys []string
+				var hashes []uint64
+				for r := 0; r < b.Len(); r++ {
+					k := local.BatchKey(b, r)
+					if _, dup := seen[string(k)]; dup {
+						continue
+					}
+					ks := string(k)
+					seen[ks] = struct{}{}
+					sel = append(sel, int32(r))
+					keys = append(keys, ks)
+					hashes = append(hashes, storage.HashString64(ks))
+				}
+				partials[i] = keyedBatch{batch: b.Gather(sel), keys: keys, hashes: hashes}
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "distinct-combine", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: distinct-combine: %w", err)
+	}
+
+	// Shuffle only the survivors, by batch index, with carried keys.
+	inputRows := countBatchRows(in)
+	moved := 0
+	for _, kb := range partials {
+		moved += kb.batch.Len()
+	}
+	st.addStage()
+	st.addShuffled(moved)
+	st.addPrecombined(inputRows - moved)
+	counts := make([]int, e.shufflePartitions)
+	for _, kb := range partials {
+		for _, h := range kb.hashes {
+			counts[storage.PartitionOfHash(h, e.shufflePartitions)]++
+		}
+	}
+	type bucket struct {
+		batch *storage.ColumnBatch
+		keys  []string
+	}
+	buckets := make([]bucket, e.shufflePartitions)
+	for p := range buckets {
+		buckets[p] = bucket{batch: storage.NewColumnBatch(schema, counts[p]), keys: make([]string, 0, counts[p])}
+	}
+	for _, kb := range partials {
+		for r, h := range kb.hashes {
+			p := storage.PartitionOfHash(h, e.shufflePartitions)
+			buckets[p].batch.AppendRowFrom(kb.batch, r)
+			buckets[p].keys = append(buckets[p].keys, kb.keys[r])
+		}
+	}
+	st.addBatches(len(buckets), moved)
+
+	// Reduce side: merge survivors per bucket on the carried keys.
+	out := make([]part, len(buckets))
+	mergeTasks := make([]cluster.Task, len(buckets))
+	for bi := range buckets {
+		bi := bi
+		mergeTasks[bi] = cluster.Task{
+			Name: fmt.Sprintf("distinct-merge[%d]", bi),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				bk := buckets[bi]
+				seen := make(map[string]struct{}, len(bk.keys))
+				sel := make([]int32, 0, len(bk.keys))
+				for r, k := range bk.keys {
+					if _, dup := seen[k]; dup {
+						continue
+					}
+					seen[k] = struct{}{}
+					sel = append(sel, int32(r))
+				}
+				out[bi] = batchPart(bk.batch.Gather(sel))
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(mergeTasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "distinct-merge", mergeTasks); err != nil {
+		return nil, fmt.Errorf("dataflow: distinct-merge: %w", err)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Group-by (batch map side)
+// ---------------------------------------------------------------------------
+
+// evalGroupByCombinedBatch is the columnar map side of the combined group-by:
+// partial aggregation states are built straight from the column vectors
+// (keys via BatchKey, aggregation updates via aggState.updateAt), then the
+// shared shuffle+merge tail runs exactly as in the row path — partial groups
+// are tiny compared to their inputs, so only the per-input-row work is worth
+// vectorizing.
+func (e *Engine) evalGroupByCombinedBatch(ctx context.Context, n *groupByNode,
+	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	inSchema := n.child.schema()
+	keyIdx := make([]int, len(n.keys))
+	for i, k := range n.keys {
+		keyIdx[i] = inSchema.IndexOf(k)
+	}
+	partials := make([][]*partialGroup, len(in))
+	tasks := make([]cluster.Task, len(in))
+	inputRows := countBatchRows(in)
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("groupby-combine[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				b := in[i]
+				local := enc.Clone()
+				groups := make(map[string]*partialGroup)
+				var order []*partialGroup
+				for r := 0; r < b.Len(); r++ {
+					k := local.BatchKey(b, r)
+					g, ok := groups[string(k)]
+					if !ok {
+						kv := make([]storage.Value, len(keyIdx))
+						for j, idx := range keyIdx {
+							kv[j] = b.Value(r, idx)
+						}
+						states := make([]*aggState, len(n.aggs))
+						for j, a := range n.aggs {
+							states[j] = newAggState(a, inSchema)
+						}
+						ks := string(k)
+						g = &partialGroup{key: ks, hash: storage.HashString64(ks), keyValues: kv, states: states}
+						groups[ks] = g
+						order = append(order, g)
+					}
+					for _, s := range g.states {
+						s.updateAt(b, r)
+					}
+				}
+				partials[i] = order
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "groupby-combine", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: groupby-combine: %w", err)
+	}
+	return e.mergeGroupPartials(ctx, partials, inputRows, st)
+}
+
+// ---------------------------------------------------------------------------
+// Join (batch)
+// ---------------------------------------------------------------------------
+
+// batchJoinTable indexes the rows of one build-side batch by encoded key.
+func batchJoinTable(b *storage.ColumnBatch, enc *storage.KeyEncoder) map[string][]int32 {
+	build := make(map[string][]int32, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		k := string(enc.BatchKey(b, i))
+		build[k] = append(build[k], int32(i))
+	}
+	return build
+}
+
+// probeBatch streams probe-side batch rows against the build table, emitting
+// joined rows with typed column copies (AppendJoined); unmatched left-join
+// rows are null-extended. No boxed Row exists at any point.
+func probeBatch(out *storage.ColumnBatch, probe *storage.ColumnBatch, build map[string][]int32,
+	buildBatch *storage.ColumnBatch, enc *storage.KeyEncoder, kind JoinType) {
+
+	for i := 0; i < probe.Len(); i++ {
+		matches := build[string(enc.BatchKey(probe, i))]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				out.AppendNullExtended(probe, i)
+			}
+			continue
+		}
+		for _, m := range matches {
+			out.AppendJoined(probe, i, buildBatch, int(m))
+		}
+	}
+}
+
+// flattenBatches concatenates batches into one (typed copies).
+func flattenBatches(schema *storage.Schema, in []*storage.ColumnBatch) *storage.ColumnBatch {
+	out := storage.NewColumnBatch(schema, countBatchRows(in))
+	for _, b := range in {
+		for i := 0; i < b.Len(); i++ {
+			out.AppendRowFrom(b, i)
+		}
+	}
+	return out
+}
+
+// evalJoinBatch executes the join over columnar partitions: broadcast when
+// the build side is small enough (the build table indexes batch row numbers,
+// probes preserve the left partitioning), shuffled hash join otherwise, with
+// both sides moved by batch index.
+func (e *Engine) evalJoinBatch(ctx context.Context, n *joinNode,
+	left, right []*storage.ColumnBatch, lEnc, rEnc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	ls, rs := n.left.schema(), n.right.schema()
+	if e.broadcastJoin && countBatchRows(right) <= e.broadcastThreshold {
+		st.addBroadcast()
+		var buildBatch *storage.ColumnBatch
+		var build map[string][]int32
+		buildTask := []cluster.Task{{
+			Name: "join-broadcast-build",
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				buildBatch = flattenBatches(rs, right)
+				build = batchJoinTable(buildBatch, rEnc.Clone())
+				return nil
+			},
+		}}
+		st.addTasks(1)
+		if _, err := e.cluster.RunNamedJob(ctx, "join-broadcast-build", buildTask); err != nil {
+			return nil, fmt.Errorf("dataflow: join-broadcast-build: %w", err)
+		}
+		out := make([]part, len(left))
+		tasks := make([]cluster.Task, len(left))
+		for i := range left {
+			i := i
+			tasks[i] = cluster.Task{
+				Name: fmt.Sprintf("join-broadcast[%d]", i),
+				Fn: func(ctx context.Context, node cluster.Node) error {
+					res := storage.NewColumnBatch(n.out, left[i].Len())
+					probeBatch(res, left[i], build, buildBatch, lEnc.Clone(), n.kind)
+					out[i] = batchPart(res)
+					return nil
+				},
+			}
+		}
+		st.addTasks(len(tasks))
+		if _, err := e.cluster.RunNamedJob(ctx, "join-broadcast", tasks); err != nil {
+			return nil, fmt.Errorf("dataflow: join-broadcast: %w", err)
+		}
+		st.addBatches(len(out), countParts(out))
+		return out, nil
+	}
+
+	lBuckets := e.shuffleBatches(left, ls, lEnc, st)
+	rBuckets := e.shuffleBatches(right, rs, rEnc, st)
+	out := make([]part, len(lBuckets))
+	tasks := make([]cluster.Task, len(lBuckets))
+	for i := range lBuckets {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("join[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				build := batchJoinTable(rBuckets[i], rEnc.Clone())
+				res := storage.NewColumnBatch(n.out, lBuckets[i].Len())
+				probeBatch(res, lBuckets[i], build, rBuckets[i], lEnc.Clone(), n.kind)
+				out[i] = batchPart(res)
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "join", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: join: %w", err)
+	}
+	st.addBatches(len(out), countParts(out))
+	return out, nil
+}

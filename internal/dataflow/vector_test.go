@@ -1,0 +1,193 @@
+package dataflow
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// vectorChainPlan builds a kernel-heavy narrow chain: filter → project →
+// with_column → filter over n rows.
+func vectorChainPlan(t *testing.T, n, parts int) *Dataset {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+		storage.Field{Name: "tag", Type: storage.TypeString, Nullable: true},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		var tag storage.Value
+		if i%3 != 0 {
+			tag = "t"
+		}
+		rows[i] = storage.Row{int64(i % 50), float64(i%100) / 2, tag}
+	}
+	return FromRows("vec", schema, rows, parts).
+		Filter("v >= 5", func(r Record) (bool, error) { return r.Float("v") >= 5, nil }).
+		Project("k", "v").
+		WithColumn(storage.Field{Name: "bucket", Type: storage.TypeInt},
+			func(r Record) (storage.Value, error) { return r.Int("v") / 10, nil }).
+		Filter("bucket < 4", func(r Record) (bool, error) { return r.Int("bucket") < 4, nil })
+}
+
+func TestVectorizedStatsAndMetrics(t *testing.T) {
+	vec := testEngine(t)
+	row := testEngineWith(t, WithVectorizedExecution(false))
+	d := vectorChainPlan(t, 1000, 4).Distinct("k", "bucket")
+
+	vres := collect(t, vec, d)
+	rres := collect(t, row, d)
+	if vres.Stats.Batches == 0 || vres.Stats.BatchRows == 0 {
+		t.Errorf("vectorized run reported Batches=%d BatchRows=%d", vres.Stats.Batches, vres.Stats.BatchRows)
+	}
+	if rres.Stats.Batches != 0 || rres.Stats.BatchRows != 0 {
+		t.Errorf("row run reported Batches=%d BatchRows=%d", rres.Stats.Batches, rres.Stats.BatchRows)
+	}
+	snap := vec.Metrics().Snapshot()
+	if got := snap.CounterValue("batches"); got != vres.Stats.Batches {
+		t.Errorf("batches counter = %d, want %d", got, vres.Stats.Batches)
+	}
+	if got := snap.CounterValue("batches.rows"); got != vres.Stats.BatchRows {
+		t.Errorf("batches.rows counter = %d, want %d", got, vres.Stats.BatchRows)
+	}
+	// Same data either way.
+	if len(vres.Rows) != len(rres.Rows) {
+		t.Fatalf("vectorized rows = %d, row rows = %d", len(vres.Rows), len(rres.Rows))
+	}
+}
+
+func TestExplainNamesExecutionMode(t *testing.T) {
+	d := vectorChainPlan(t, 100, 2)
+	vec := testEngine(t)
+	plan := vec.Explain(d)
+	for _, want := range []string{"vectorized=on", "execution mode: vectorized (columnar batches)", "[vectorized]"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("vectorized Explain missing %q:\n%s", want, plan)
+		}
+	}
+	// Limit-capped chains run the row pipeline (for its early stop), so they
+	// must not be tagged as batch-kernel stages.
+	if capped := vec.Explain(vectorChainPlan(t, 100, 2).Limit(5)); strings.Contains(capped, "[vectorized]") {
+		t.Errorf("limit-capped chain must not be tagged vectorized:\n%s", capped)
+	}
+	row := testEngineWith(t, WithVectorizedExecution(false))
+	plan = row.Explain(d)
+	if !strings.Contains(plan, "vectorized=off") || !strings.Contains(plan, "execution mode: row-at-a-time (fused)") {
+		t.Errorf("row Explain must name the row mode:\n%s", plan)
+	}
+	if strings.Contains(plan, "[vectorized]") {
+		t.Errorf("row Explain must not tag stages as vectorized:\n%s", plan)
+	}
+	unfused := testEngineWith(t, WithFusion(false))
+	if plan := unfused.Explain(d); !strings.Contains(plan, "execution mode: row-at-a-time (per-operator)") {
+		t.Errorf("unfused Explain must name the per-operator mode:\n%s", plan)
+	}
+}
+
+// TestValidationGating covers the WithStrictValidation satellite: a map
+// closure that emits a mistyped row late in the partition slips through the
+// lax row path (only the first row per partition is checked), is caught by
+// strict mode, and is always caught by the vectorized path, where unboxing
+// into typed vectors validates for free.
+func TestValidationGating(t *testing.T) {
+	schema := storage.MustSchema(storage.Field{Name: "x", Type: storage.TypeInt})
+	rows := make([]storage.Row, 10)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i)}
+	}
+	bad := FromRows("vals", schema, rows, 1).
+		Map("bad late row", schema, func(r Record) (storage.Row, error) {
+			if r.Int("x") == 7 {
+				return storage.Row{"not an int"}, nil
+			}
+			return storage.Row{r.Int("x")}, nil
+		})
+	ctx := context.Background()
+
+	if _, err := testEngineWith(t, WithVectorizedExecution(false)).Collect(ctx, bad); err != nil {
+		t.Errorf("lax row mode must not validate row 7: %v", err)
+	}
+	if _, err := testEngineWith(t, WithVectorizedExecution(false), WithStrictValidation(true)).Collect(ctx, bad); err == nil {
+		t.Error("strict row mode must reject the mistyped row")
+	} else if !strings.Contains(err.Error(), "map output") {
+		t.Errorf("strict mode error = %v, want map output context", err)
+	}
+	if _, err := testEngine(t).Collect(ctx, bad); err == nil {
+		t.Error("vectorized mode must reject the mistyped row")
+	}
+
+	// The first row of a partition is always validated, even lax.
+	badFirst := FromRows("vals", schema, rows, 1).
+		Map("bad first row", schema, func(r Record) (storage.Row, error) {
+			return storage.Row{"nope"}, nil
+		})
+	if _, err := testEngineWith(t, WithVectorizedExecution(false)).Collect(ctx, badFirst); err == nil {
+		t.Error("lax mode must still validate the first row per partition")
+	} else if !strings.Contains(err.Error(), "expects int, got string") {
+		t.Errorf("first-row validation error = %v, want the descriptive type mismatch", err)
+	}
+}
+
+// TestVectorizedJoinMatchesRowJoin drives both join strategies through the
+// batch path and compares against the row engine, including left-join null
+// extension.
+func TestVectorizedJoinMatchesRowJoin(t *testing.T) {
+	facts := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	dims := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "name", Type: storage.TypeString},
+	)
+	factRows := make([]storage.Row, 200)
+	for i := range factRows {
+		factRows[i] = storage.Row{int64(i % 20), float64(i)}
+	}
+	dimRows := make([]storage.Row, 8)
+	for i := range dimRows {
+		dimRows[i] = storage.Row{int64(i), "dim"}
+	}
+	for _, kind := range []JoinType{InnerJoin, LeftJoin} {
+		for _, opts := range [][]EngineOption{
+			nil,                        // broadcast (dims under threshold)
+			{WithBroadcastJoin(false)}, // shuffled hash join
+		} {
+			plan := FromRows("facts", facts, factRows, 4).
+				Join(FromRows("dims", dims, dimRows, 2), "k", "k", kind)
+			vres := collect(t, testEngineWith(t, opts...), plan)
+			rres := collect(t, testEngineWith(t, append([]EngineOption{WithVectorizedExecution(false)}, opts...)...), plan)
+			if len(vres.Rows) != len(rres.Rows) {
+				t.Fatalf("kind=%v opts=%d: vectorized %d rows, row %d rows", kind, len(opts), len(vres.Rows), len(rres.Rows))
+			}
+			for i := range vres.Rows {
+				for c := range vres.Rows[i] {
+					if !storage.ValuesEqual(vres.Rows[i][c], rres.Rows[i][c]) {
+						t.Fatalf("kind=%v row %d col %d: %v != %v", kind, i, c, vres.Rows[i][c], rres.Rows[i][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountSkipsMaterialization checks Count agrees with Collect without
+// requiring row materialisation.
+func TestCountSkipsMaterialization(t *testing.T) {
+	e := testEngine(t)
+	d := vectorChainPlan(t, 500, 4)
+	res := collect(t, e, d)
+	n, stats, err := e.CountStats(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(res.Rows)) {
+		t.Errorf("Count = %d, Collect rows = %d", n, len(res.Rows))
+	}
+	if stats.Batches == 0 {
+		t.Error("vectorized Count must report batch stats")
+	}
+}

@@ -320,6 +320,9 @@ type Figure2Point struct {
 	ShuffledRows int64
 	// BroadcastJoins counts joins the engine executed broadcast-side.
 	BroadcastJoins int64
+	// Batches counts the columnar batches the vectorized engine processed;
+	// zero would mean the run fell back to row-at-a-time execution.
+	Batches int64
 }
 
 // Figure2 is the engine-scalability experiment.
@@ -349,6 +352,7 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 				ThroughputRPS:  float64(rows) / wall.Seconds(),
 				ShuffledRows:   stats.ShuffledRows,
 				BroadcastJoins: stats.BroadcastJoins,
+				Batches:        stats.Batches,
 			}
 			if workers == workerSweep[0] {
 				baseline[rows] = wall.Seconds()
@@ -432,10 +436,11 @@ func (f *Figure2) String() string {
 			fmt.Sprintf("%.2f", p.SpeedupVs1),
 			fmt.Sprintf("%d", p.ShuffledRows),
 			fmt.Sprintf("%d", p.BroadcastJoins),
+			fmt.Sprintf("%d", p.Batches),
 		})
 	}
 	return "Figure 2 — dataflow engine scalability (filter → join → group-by pipeline)\n" +
-		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins"}, rows)
+		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches"}, rows)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,502 @@
+package storage
+
+// batch.go implements the columnar batch layer: a partition of rows stored as
+// typed column vectors ([]int64, []float64, []string, []bool) with null
+// bitmaps instead of a slice of boxed []any rows. The dataflow engine uses
+// ColumnBatch as its internal partition representation when vectorized
+// execution is enabled: narrow kernels operate column-at-a-time, user
+// closures read cells through zero-copy per-row views (no Row is
+// materialised), and the shuffle machinery moves rows by batch index with
+// typed copies instead of boxed Row pointers.
+//
+// A ColumnBatch is append-only while it is being built and read-only once it
+// is handed to a consumer. Derived batches (Project, Head) share column
+// storage with their parent, so batches must never be mutated after
+// construction; every kernel that needs different row content builds a new
+// batch (Gather, AppendRow).
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// nullBitmap records which rows of a column are null, one bit per row. The
+// bitmap is grown lazily on the first null, so all-valid columns carry no
+// bitmap at all.
+type nullBitmap []uint64
+
+// get reports whether bit i is set. Bits beyond the bitmap's length read as
+// zero, which is how lazily-grown bitmaps encode trailing non-null rows.
+func (m nullBitmap) get(i int) bool {
+	w := i >> 6
+	return w < len(m) && m[w]&(1<<(uint(i)&63)) != 0
+}
+
+// set marks bit i, growing the bitmap as needed.
+func (m *nullBitmap) set(i int) {
+	w := i >> 6
+	for len(*m) <= w {
+		*m = append(*m, 0)
+	}
+	(*m)[w] |= 1 << (uint(i) & 63)
+}
+
+// Column is one typed vector of a ColumnBatch. Exactly one of the value
+// slices is in use, selected by the column's field type (TypeTime shares the
+// int64 vector).
+type Column struct {
+	typ    FieldType
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  nullBitmap
+}
+
+// Type returns the column's field type.
+func (c *Column) Type() FieldType { return c.typ }
+
+// Null reports whether row i of the column is null.
+func (c *Column) Null(i int) bool { return c.nulls.get(i) }
+
+// Int returns row i of an int/time column (0 when null).
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Float returns row i of a float column (0 when null).
+func (c *Column) Float(i int) float64 { return c.floats[i] }
+
+// Str returns row i of a string column ("" when null).
+func (c *Column) Str(i int) string { return c.strs[i] }
+
+// Bool returns row i of a bool column (false when null).
+func (c *Column) Bool(i int) bool { return c.bools[i] }
+
+// Value returns row i as a boxed dynamic value (nil when null). Kernels avoid
+// this accessor on hot paths: boxing a float64 or a string allocates.
+func (c *Column) Value(i int) Value {
+	if c.nulls.get(i) {
+		return nil
+	}
+	switch c.typ {
+	case TypeInt, TypeTime:
+		return c.ints[i]
+	case TypeFloat:
+		return c.floats[i]
+	case TypeString:
+		return c.strs[i]
+	case TypeBool:
+		return c.bools[i]
+	default:
+		return nil
+	}
+}
+
+// appendNull appends a null cell at row n.
+func (c *Column) appendNull(n int) {
+	c.nulls.set(n)
+	switch c.typ {
+	case TypeInt, TypeTime:
+		c.ints = append(c.ints, 0)
+	case TypeFloat:
+		c.floats = append(c.floats, 0)
+	case TypeString:
+		c.strs = append(c.strs, "")
+	case TypeBool:
+		c.bools = append(c.bools, false)
+	}
+}
+
+// append appends a boxed value at row n, asserting the exact dynamic type the
+// schema demands (the same contract ValidateRow enforces on rows).
+func (c *Column) append(f Field, v Value, n int) error {
+	if v == nil {
+		if !f.Nullable {
+			return fmt.Errorf("storage: field %q is not nullable", f.Name)
+		}
+		c.appendNull(n)
+		return nil
+	}
+	switch c.typ {
+	case TypeInt, TypeTime:
+		x, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("%w: field %q expects %s, got %T", ErrTypeMismatch, f.Name, f.Type, v)
+		}
+		c.ints = append(c.ints, x)
+	case TypeFloat:
+		x, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("%w: field %q expects %s, got %T", ErrTypeMismatch, f.Name, f.Type, v)
+		}
+		c.floats = append(c.floats, x)
+	case TypeString:
+		x, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("%w: field %q expects %s, got %T", ErrTypeMismatch, f.Name, f.Type, v)
+		}
+		c.strs = append(c.strs, x)
+	case TypeBool:
+		x, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("%w: field %q expects %s, got %T", ErrTypeMismatch, f.Name, f.Type, v)
+		}
+		c.bools = append(c.bools, x)
+	default:
+		return fmt.Errorf("%w: field %q has unsupported type %s", ErrTypeMismatch, f.Name, f.Type)
+	}
+	return nil
+}
+
+// appendFrom appends row i of src (a column of the same type) at row n.
+func (c *Column) appendFrom(src *Column, i, n int) {
+	if src.nulls.get(i) {
+		c.appendNull(n)
+		return
+	}
+	switch c.typ {
+	case TypeInt, TypeTime:
+		c.ints = append(c.ints, src.ints[i])
+	case TypeFloat:
+		c.floats = append(c.floats, src.floats[i])
+	case TypeString:
+		c.strs = append(c.strs, src.strs[i])
+	case TypeBool:
+		c.bools = append(c.bools, src.bools[i])
+	}
+}
+
+// grow pre-sizes the column's value vector for capacity rows.
+func (c *Column) grow(capacity int) {
+	switch c.typ {
+	case TypeInt, TypeTime:
+		c.ints = make([]int64, 0, capacity)
+	case TypeFloat:
+		c.floats = make([]float64, 0, capacity)
+	case TypeString:
+		c.strs = make([]string, 0, capacity)
+	case TypeBool:
+		c.bools = make([]bool, 0, capacity)
+	}
+}
+
+// ColumnBatch is one partition of rows in columnar form: a schema plus one
+// typed Column per field.
+type ColumnBatch struct {
+	schema *Schema
+	cols   []Column
+	n      int
+}
+
+// NewColumnBatch returns an empty batch over schema with capacity rows
+// pre-allocated per column.
+func NewColumnBatch(schema *Schema, capacity int) *ColumnBatch {
+	b := &ColumnBatch{schema: schema, cols: make([]Column, schema.Len())}
+	for i := range b.cols {
+		b.cols[i].typ = schema.Field(i).Type
+		if capacity > 0 {
+			b.cols[i].grow(capacity)
+		}
+	}
+	return b
+}
+
+// BatchFromRows converts boxed rows into a columnar batch, validating each
+// row against the schema exactly as ValidateRow would (arity, per-field
+// dynamic type, nullability).
+func BatchFromRows(schema *Schema, rows []Row) (*ColumnBatch, error) {
+	b := NewColumnBatch(schema, len(rows))
+	for i, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			return nil, fmt.Errorf("storage: batch row %d: %w", i, err)
+		}
+	}
+	return b, nil
+}
+
+// Schema returns the batch schema.
+func (b *ColumnBatch) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows in the batch.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Width returns the number of columns.
+func (b *ColumnBatch) Width() int { return len(b.cols) }
+
+// Column returns column c. The returned pointer shares the batch's storage
+// and must be treated as read-only.
+func (b *ColumnBatch) Column(c int) *Column { return &b.cols[c] }
+
+// AppendRow appends a boxed row, enforcing the schema contract (the same
+// errors ValidateRow reports: arity, field type, nullability). Unboxing into
+// the typed vectors is the validation — mismatched rows cannot be stored.
+func (b *ColumnBatch) AppendRow(r Row) error {
+	if len(r) != b.schema.Len() {
+		return fmt.Errorf("storage: row has %d values, schema has %d fields", len(r), b.schema.Len())
+	}
+	for i := range b.cols {
+		if err := b.cols[i].append(b.schema.Field(i), r[i], b.n); err != nil {
+			return err
+		}
+	}
+	b.n++
+	return nil
+}
+
+// AppendRowFrom appends row i of src, a batch with an identical column
+// layout, using typed copies (no boxing).
+func (b *ColumnBatch) AppendRowFrom(src *ColumnBatch, i int) {
+	for c := range b.cols {
+		b.cols[c].appendFrom(&src.cols[c], i, b.n)
+	}
+	b.n++
+}
+
+// AppendJoined appends the concatenation of row li of left and row ri of
+// right; the batch's leading columns must match left's layout and the
+// trailing columns right's. It is the typed emit path of the vectorized hash
+// join.
+func (b *ColumnBatch) AppendJoined(left *ColumnBatch, li int, right *ColumnBatch, ri int) {
+	lw := len(left.cols)
+	for c := range left.cols {
+		b.cols[c].appendFrom(&left.cols[c], li, b.n)
+	}
+	for c := range right.cols {
+		b.cols[lw+c].appendFrom(&right.cols[c], ri, b.n)
+	}
+	b.n++
+}
+
+// AppendNullExtended appends row li of left followed by nulls for the
+// remaining columns — the unmatched-row emit path of a vectorized left join.
+func (b *ColumnBatch) AppendNullExtended(left *ColumnBatch, li int) {
+	lw := len(left.cols)
+	for c := range left.cols {
+		b.cols[c].appendFrom(&left.cols[c], li, b.n)
+	}
+	for c := lw; c < len(b.cols); c++ {
+		b.cols[c].appendNull(b.n)
+	}
+	b.n++
+}
+
+// Value returns cell (row, col) as a boxed value (nil when null).
+func (b *ColumnBatch) Value(row, col int) Value {
+	if col < 0 || col >= len(b.cols) {
+		return nil
+	}
+	return b.cols[col].Value(row)
+}
+
+// NullAt reports whether cell (row, col) is null (or col is out of range).
+func (b *ColumnBatch) NullAt(row, col int) bool {
+	if col < 0 || col >= len(b.cols) {
+		return true
+	}
+	return b.cols[col].Null(row)
+}
+
+// FloatAt converts cell (row, col) to float64 with AsFloat semantics, reading
+// the typed vector directly (no boxing).
+func (b *ColumnBatch) FloatAt(row, col int) (float64, bool) {
+	if col < 0 || col >= len(b.cols) {
+		return 0, false
+	}
+	c := &b.cols[col]
+	if c.nulls.get(row) {
+		return 0, false
+	}
+	switch c.typ {
+	case TypeFloat:
+		return c.floats[row], true
+	case TypeInt, TypeTime:
+		return float64(c.ints[row]), true
+	case TypeBool:
+		if c.bools[row] {
+			return 1, true
+		}
+		return 0, true
+	case TypeString:
+		f, err := strconv.ParseFloat(c.strs[row], 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// IntAt converts cell (row, col) to int64 with AsInt semantics, reading the
+// typed vector directly.
+func (b *ColumnBatch) IntAt(row, col int) (int64, bool) {
+	if col < 0 || col >= len(b.cols) {
+		return 0, false
+	}
+	c := &b.cols[col]
+	if c.nulls.get(row) {
+		return 0, false
+	}
+	switch c.typ {
+	case TypeInt, TypeTime:
+		return c.ints[row], true
+	case TypeFloat:
+		f := c.floats[row]
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, false
+		}
+		return int64(f), true
+	case TypeBool:
+		if c.bools[row] {
+			return 1, true
+		}
+		return 0, true
+	case TypeString:
+		i, err := strconv.ParseInt(c.strs[row], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return i, true
+	default:
+		return 0, false
+	}
+}
+
+// BoolAt converts cell (row, col) to bool with AsBool semantics.
+func (b *ColumnBatch) BoolAt(row, col int) (bool, bool) {
+	if col < 0 || col >= len(b.cols) {
+		return false, false
+	}
+	c := &b.cols[col]
+	if c.nulls.get(row) {
+		return false, false
+	}
+	switch c.typ {
+	case TypeBool:
+		return c.bools[row], true
+	case TypeInt, TypeTime:
+		return c.ints[row] != 0, true
+	case TypeFloat:
+		return c.floats[row] != 0, true
+	case TypeString:
+		v, err := strconv.ParseBool(c.strs[row])
+		if err != nil {
+			return false, false
+		}
+		return v, true
+	default:
+		return false, false
+	}
+}
+
+// StringAt converts cell (row, col) to a string with AsString semantics (""
+// when null). Only string columns are read zero-copy; other types format.
+func (b *ColumnBatch) StringAt(row, col int) string {
+	if col < 0 || col >= len(b.cols) {
+		return ""
+	}
+	c := &b.cols[col]
+	if c.nulls.get(row) {
+		return ""
+	}
+	switch c.typ {
+	case TypeString:
+		return c.strs[row]
+	case TypeInt, TypeTime:
+		return strconv.FormatInt(c.ints[row], 10)
+	case TypeFloat:
+		return strconv.FormatFloat(c.floats[row], 'g', -1, 64)
+	case TypeBool:
+		return strconv.FormatBool(c.bools[row])
+	default:
+		return ""
+	}
+}
+
+// Row materialises row i as a boxed Row.
+func (b *ColumnBatch) Row(i int) Row {
+	r := make(Row, len(b.cols))
+	for c := range b.cols {
+		r[c] = b.cols[c].Value(i)
+	}
+	return r
+}
+
+// Rows materialises every row. All cells share one backing array, so the
+// conversion costs one slice allocation plus the boxing of non-null numeric
+// cells rather than one allocation per row.
+func (b *ColumnBatch) Rows() []Row {
+	if b.n == 0 {
+		return nil
+	}
+	w := len(b.cols)
+	backing := make([]Value, b.n*w)
+	out := make([]Row, b.n)
+	for i := 0; i < b.n; i++ {
+		row := backing[i*w : (i+1)*w : (i+1)*w]
+		for c := range b.cols {
+			row[c] = b.cols[c].Value(i)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Gather builds a new batch holding the selected rows, in selection order,
+// with typed copies (no boxing). It materialises a selection vector.
+func (b *ColumnBatch) Gather(sel []int32) *ColumnBatch {
+	out := NewColumnBatch(b.schema, len(sel))
+	for c := range b.cols {
+		src := &b.cols[c]
+		dst := &out.cols[c]
+		for n, i := range sel {
+			dst.appendFrom(src, int(i), n)
+		}
+	}
+	out.n = len(sel)
+	return out
+}
+
+// ProjectCols returns a batch exposing only the given columns (by index)
+// under the projected schema. Column storage is shared with the parent — the
+// projection itself copies and boxes nothing.
+func (b *ColumnBatch) ProjectCols(out *Schema, indices []int) *ColumnBatch {
+	cols := make([]Column, len(indices))
+	for i, idx := range indices {
+		cols[i] = b.cols[idx]
+	}
+	return &ColumnBatch{schema: out, cols: cols, n: b.n}
+}
+
+// WithAppendedColumn returns a batch over out (= b's schema plus one field)
+// whose trailing column is col; the existing columns are shared, not copied.
+func (b *ColumnBatch) WithAppendedColumn(out *Schema, col Column) *ColumnBatch {
+	cols := make([]Column, len(b.cols)+1)
+	copy(cols, b.cols)
+	cols[len(b.cols)] = col
+	return &ColumnBatch{schema: out, cols: cols, n: b.n}
+}
+
+// Head returns a view of the first k rows (k is clamped to Len). The view
+// shares column storage with b.
+func (b *ColumnBatch) Head(k int) *ColumnBatch {
+	if k >= b.n {
+		return b
+	}
+	if k < 0 {
+		k = 0
+	}
+	return &ColumnBatch{schema: b.schema, cols: b.cols, n: k}
+}
+
+// NewColumnBuilder returns an empty column of the given type with capacity
+// rows pre-allocated, for kernels that compute a derived column.
+func NewColumnBuilder(t FieldType, capacity int) Column {
+	c := Column{typ: t}
+	c.grow(capacity)
+	return c
+}
+
+// AppendValue appends a boxed value to the column under field f's contract;
+// row n must be the column's current length.
+func (c *Column) AppendValue(f Field, v Value, n int) error { return c.append(f, v, n) }

@@ -169,3 +169,65 @@ func (e *KeyEncoder) Key(r Row) []byte {
 func (e *KeyEncoder) Hash(r Row) uint64 {
 	return HashBytes64(e.Key(r))
 }
+
+// appendBatchValue appends the key encoding of cell (row, col) of a columnar
+// batch, reading the typed vector directly. The bytes produced are identical
+// to AppendKeyValue over the equivalent boxed value, so row-encoded and
+// batch-encoded keys compare and hash interchangeably.
+func appendBatchValue(dst []byte, b *ColumnBatch, row, col int) []byte {
+	if col < 0 || col >= b.Width() {
+		return append(dst, keyTagNull)
+	}
+	c := b.Column(col)
+	if c.Null(row) {
+		return append(dst, keyTagNull)
+	}
+	switch c.Type() {
+	case TypeInt, TypeTime:
+		dst = append(dst, keyTagInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(c.Int(row)))
+	case TypeFloat:
+		dst = append(dst, keyTagFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Float(row)))
+	case TypeString:
+		s := c.Str(row)
+		dst = append(dst, keyTagString)
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case TypeBool:
+		if c.Bool(row) {
+			return append(dst, keyTagBool, 1)
+		}
+		return append(dst, keyTagBool, 0)
+	default:
+		return append(dst, keyTagNull)
+	}
+}
+
+// AppendBatchKey appends the encoded key of batch row i to dst, reading the
+// key columns from the typed vectors without materialising a Row.
+func (e *KeyEncoder) AppendBatchKey(dst []byte, b *ColumnBatch, i int) []byte {
+	if e.idx == nil {
+		for col := 0; col < b.Width(); col++ {
+			dst = appendBatchValue(dst, b, i, col)
+		}
+		return dst
+	}
+	for _, col := range e.idx {
+		dst = appendBatchValue(dst, b, i, col)
+	}
+	return dst
+}
+
+// BatchKey encodes the key of batch row i into the encoder's reusable buffer.
+// Like Key, the returned slice is only valid until the next Key/Hash call.
+func (e *KeyEncoder) BatchKey(b *ColumnBatch, i int) []byte {
+	e.buf = e.AppendBatchKey(e.buf[:0], b, i)
+	return e.buf
+}
+
+// BatchHash returns the 64-bit FNV-1a hash of batch row i's encoded key,
+// reusing the encoder's buffer.
+func (e *KeyEncoder) BatchHash(b *ColumnBatch, i int) uint64 {
+	return HashBytes64(e.BatchKey(b, i))
+}

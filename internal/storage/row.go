@@ -42,6 +42,21 @@ func ValidateRow(s *Schema, r Row) error {
 	return nil
 }
 
+// ValidateCell checks a single value against one field's type and
+// nullability, with the same errors ValidateRow reports.
+func ValidateCell(f Field, v Value) error {
+	if v == nil {
+		if !f.Nullable {
+			return fmt.Errorf("storage: field %q is not nullable", f.Name)
+		}
+		return nil
+	}
+	if !valueMatches(f.Type, v) {
+		return fmt.Errorf("%w: field %q expects %s, got %T", ErrTypeMismatch, f.Name, f.Type, v)
+	}
+	return nil
+}
+
 func valueMatches(t FieldType, v Value) bool {
 	switch t {
 	case TypeString:

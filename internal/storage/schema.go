@@ -1,6 +1,7 @@
 // Package storage implements the storage substrate of the simulated Big Data
-// platform: typed schemas, rows, in-memory tables partitioned into blocks,
-// CSV/JSON codecs, and a dataset catalog.
+// platform: typed schemas, rows, columnar batches (typed column vectors with
+// null bitmaps), in-memory tables partitioned into blocks, CSV/JSON codecs,
+// and a dataset catalog.
 //
 // The TOREADOR platform assumes data sources registered with the platform and
 // described by a representation model; this package plays that role. All data
