@@ -681,6 +681,100 @@ func BenchmarkVectorizedShuffle(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Spill-to-disk benchmarks (DESIGN.md §2.7): wide operators with the
+// partition-store accumulation kept fully resident ("memory") versus forced
+// to spill every batch through the binary codec to temp files ("spill").
+// Each pair runs the identical plan; the spilled_batches/spilled_bytes
+// metrics confirm the spill arm actually hit disk, and the time/bytes deltas
+// price the codec + I/O overhead that buys larger-than-RAM inputs.
+// ---------------------------------------------------------------------------
+
+// BenchmarkSpillShuffle joins 100k fact rows against a dimension table with
+// broadcasting disabled, so both sides hash-shuffle through partition stores.
+// The spill arm's one-byte budget forces every bucket chunk to disk and back.
+func BenchmarkSpillShuffle(b *testing.B) {
+	const rows = 100_000
+	schema, data := wideBenchRows(rows, 64)
+	dimSchema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "segment", Type: storage.TypeString},
+	)
+	dim := make([]storage.Row, 64)
+	for i := range dim {
+		dim[i] = storage.Row{int64(i), fmt.Sprintf("segment-%d", i%8)}
+	}
+	plan := dataflow.FromRows("facts", schema, data, 8).
+		Join(dataflow.FromRows("dims", dimSchema, dim, 2), "k", "k", dataflow.InnerJoin)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{{"memory", 0}, {"spill", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b,
+				dataflow.WithBroadcastJoin(false),
+				dataflow.WithMemoryBudget(mode.budget))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("join produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.SpilledBatches), "spilled_batches/op")
+			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
+		})
+	}
+}
+
+// BenchmarkSpillGroupBy aggregates 100k rows over 512 keys on the
+// non-combined columnar group-by (every row crosses the shuffle, the shape
+// that actually exceeds RAM), resident versus forced to spill.
+func BenchmarkSpillGroupBy(b *testing.B) {
+	const rows = 100_000
+	schema, data := wideBenchRows(rows, 512)
+	plan := dataflow.FromRows("bench", schema, data, 8).
+		GroupBy("k").
+		Agg(dataflow.Count(), dataflow.Sum("v"), dataflow.Max("v"))
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{{"memory", 0}, {"spill", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b,
+				dataflow.WithMapSideCombine(false),
+				dataflow.WithMemoryBudget(mode.budget))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("group-by produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.SpilledBatches), "spilled_batches/op")
+			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
+		})
+	}
+}
+
 // BenchmarkComplianceEvaluation measures a single compliance evaluation, the
 // inner loop of alternative elaboration.
 func BenchmarkComplianceEvaluation(b *testing.B) {

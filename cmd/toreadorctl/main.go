@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		customers  = fs.Int("customers", 2000, "scenario sizing: customers/baskets/transactions")
 		repository = fs.String("repository", "", "optional model-repository directory for persistence")
 		strategy   = fs.String("strategy", "exhaustive", "planning strategy for the plan command (exhaustive|greedy|random)")
+		memBudget  = fs.Int64("memory-budget", 0, "bytes of columnar batch data the engine keeps resident per wide operator; excess spills to disk (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-campaign is required")
 	}
 
-	platform, err := toreador.New(toreador.Config{Seed: *seed, RepositoryDir: *repository})
+	platform, err := toreador.New(toreador.Config{Seed: *seed, RepositoryDir: *repository, MemoryBudget: *memBudget})
 	if err != nil {
 		return err
 	}

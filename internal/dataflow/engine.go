@@ -64,6 +64,11 @@ type Engine struct {
 	// path always validates, because unboxing into typed vectors is the
 	// validation.
 	strictValidate bool
+	// memoryBudget bounds the resident bytes of each wide operator's batch
+	// accumulation (shuffle buckets, sort inputs, join build sides): batches
+	// past the budget spill to temp files and are restored transparently on
+	// read. <= 0 (the default) means unlimited — nothing ever spills.
+	memoryBudget int64
 }
 
 // part is one partition of intermediate data: a boxed row slice, a columnar
@@ -237,6 +242,18 @@ func WithStrictValidation(enabled bool) EngineOption {
 	return func(e *Engine) { e.strictValidate = enabled }
 }
 
+// WithMemoryBudget bounds the bytes of columnar batch data each wide
+// operator keeps resident while accumulating (per partition store: one per
+// shuffle side, sort input staging, or distinct survivor set). Once an
+// accumulation exceeds the budget its coldest batches are spilled to temp
+// files and restored transparently when the consuming tasks read them, so
+// wide operators run within budget on inputs that exceed RAM. bytes <= 0 (the
+// default) disables spilling. The budget only governs the vectorized
+// engine's columnar partitions; row-at-a-time ablation modes ignore it.
+func WithMemoryBudget(bytes int64) EngineOption {
+	return func(e *Engine) { e.memoryBudget = bytes }
+}
+
 // NewEngine returns an engine bound to the given cluster.
 func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 	if c == nil {
@@ -299,6 +316,12 @@ type Stats struct {
 	Batches int64
 	// BatchRows is the number of rows those batches carried.
 	BatchRows int64
+	// SpilledBatches is the number of columnar batches written to spill
+	// files because a wide operator's accumulation exceeded the memory
+	// budget. Zero without WithMemoryBudget.
+	SpilledBatches int64
+	// SpilledBytes is the encoded size of those spilled batches on disk.
+	SpilledBytes int64
 	// WallTime is the end-to-end execution time of the action.
 	WallTime time.Duration
 }
@@ -360,6 +383,20 @@ func (s *execState) addBatches(batches, rows int) {
 	s.stats.BatchRows += int64(rows)
 	s.mu.Unlock()
 }
+func (s *execState) addSpilled(batches, bytes int64) {
+	s.mu.Lock()
+	s.stats.SpilledBatches += batches
+	s.stats.SpilledBytes += bytes
+	s.mu.Unlock()
+}
+
+// releaseStore folds a partition store's spill counters into the stats and
+// releases its spill file. Callers defer it as soon as the store exists, so
+// temp files are cleaned up on every error path.
+func (s *execState) releaseStore(store *storage.PartitionStore) {
+	s.addSpilled(store.SpilledBatches(), store.SpilledBytes())
+	_ = store.Close()
+}
 
 // execute runs the plan and returns the output partitions in their internal
 // representation, with stats finalised and metrics recorded.
@@ -394,6 +431,8 @@ func (e *Engine) execute(ctx context.Context, d *Dataset) ([]part, *execState, e
 	e.reg.Counter("distinct.precombined").Add(st.stats.DistinctPrecombinedRows)
 	e.reg.Counter("batches").Add(st.stats.Batches)
 	e.reg.Counter("batches.rows").Add(st.stats.BatchRows)
+	e.reg.Counter("spill.batches").Add(st.stats.SpilledBatches)
+	e.reg.Counter("spill.bytes").Add(st.stats.SpilledBytes)
 	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
 	return parts, st, nil
 }
@@ -892,45 +931,110 @@ func (e *Engine) shuffleRows(in [][]storage.Row, enc *storage.KeyEncoder, st *ex
 	return buckets
 }
 
+// spillChunkRows caps the open per-bucket builder on the budgeted batch
+// shuffle: a chunk seals into the partition store (and becomes spillable)
+// once it reaches this many rows, so the gather itself never accumulates
+// unbounded resident state.
+const spillChunkRows = 4096
+
 // shuffleBatches hash-partitions columnar batches on keys encoded straight
-// from the column vectors: per input batch a selection vector is computed per
-// target bucket and the buckets are built with typed copies, so no boxed Row
-// is ever materialised on either side of the shuffle.
+// from the column vectors into a partition store, so no boxed Row is ever
+// materialised on either side of the shuffle. Without a memory budget the
+// gather runs in two passes (exact pre-sizing, one resident batch per bucket
+// — the pre-spill behaviour). With a budget it gathers in spillChunkRows
+// chunks that seal into the store as they fill; the store spills the coldest
+// chunks to disk whenever the resident total exceeds the budget, and the
+// consuming tasks restore them transparently on read. Callers must release
+// the store via execState.releaseStore once its partitions are consumed.
 func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schema,
-	enc *storage.KeyEncoder, st *execState) []*storage.ColumnBatch {
+	enc *storage.KeyEncoder, st *execState) (*storage.PartitionStore, error) {
 
 	st.addStage()
 	nParts := e.shufflePartitions
-	total := 0
-	// Pass 1: bucket assignment per (batch, row), plus per-bucket counts for
-	// exact pre-sizing.
-	assign := make([][]int32, len(in))
-	counts := make([]int, nParts)
+	store, err := storage.NewPartitionStore(schema, nParts, storage.WithMemoryBudget(e.memoryBudget))
+	if err != nil {
+		return nil, err
+	}
+	// fail releases the store (removing any partial spill file and folding
+	// its counters into the stats) before propagating a gather error.
+	fail := func(err error) (*storage.PartitionStore, error) {
+		st.releaseStore(store)
+		return nil, err
+	}
 	local := enc.Clone()
-	for bi, b := range in {
-		n := b.Len()
-		total += n
-		a := make([]int32, n)
-		for i := 0; i < n; i++ {
-			p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
-			a[i] = int32(p)
-			counts[p]++
+	total, sealed := 0, 0
+	if e.memoryBudget <= 0 {
+		// Pass 1: bucket assignment per (batch, row), plus per-bucket counts
+		// for exact pre-sizing.
+		assign := make([][]int32, len(in))
+		counts := make([]int, nParts)
+		for bi, b := range in {
+			n := b.Len()
+			total += n
+			a := make([]int32, n)
+			for i := 0; i < n; i++ {
+				p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
+				a[i] = int32(p)
+				counts[p]++
+			}
+			assign[bi] = a
 		}
-		assign[bi] = a
-	}
-	// Pass 2: gather rows into pre-sized bucket batches by batch index.
-	buckets := make([]*storage.ColumnBatch, nParts)
-	for p := range buckets {
-		buckets[p] = storage.NewColumnBatch(schema, counts[p])
-	}
-	for bi, b := range in {
-		for i, p := range assign[bi] {
-			buckets[p].AppendRowFrom(b, i)
+		// Pass 2: gather rows into pre-sized bucket batches by batch index.
+		buckets := make([]*storage.ColumnBatch, nParts)
+		for p := range buckets {
+			buckets[p] = storage.NewColumnBatch(schema, counts[p])
+		}
+		for bi, b := range in {
+			for i, p := range assign[bi] {
+				buckets[p].AppendRowFrom(b, i)
+			}
+		}
+		for p, b := range buckets {
+			if b.Len() == 0 {
+				continue
+			}
+			if err := store.Append(p, b); err != nil {
+				return fail(err)
+			}
+			sealed++
+		}
+	} else {
+		// Single bounded pass: rows append to per-bucket open chunks that
+		// seal (and may spill) as they fill.
+		open := make([]*storage.ColumnBatch, nParts)
+		for _, b := range in {
+			n := b.Len()
+			total += n
+			for i := 0; i < n; i++ {
+				p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
+				ob := open[p]
+				if ob == nil {
+					ob = storage.NewColumnBatch(schema, spillChunkRows)
+					open[p] = ob
+				}
+				ob.AppendRowFrom(b, i)
+				if ob.Len() >= spillChunkRows {
+					if err := store.Append(p, ob); err != nil {
+						return fail(err)
+					}
+					sealed++
+					open[p] = nil
+				}
+			}
+		}
+		for p, ob := range open {
+			if ob == nil || ob.Len() == 0 {
+				continue
+			}
+			if err := store.Append(p, ob); err != nil {
+				return fail(err)
+			}
+			sealed++
 		}
 	}
 	st.addShuffled(total)
-	st.addBatches(len(buckets), total)
-	return buckets
+	st.addBatches(sealed, total)
+	return store, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -1103,8 +1207,13 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([]pa
 	}
 	// Sorting is compare-dominated, not allocation-dominated, so the sort
 	// executes row at a time in every mode; batch-backed inputs are
-	// materialised here (see DESIGN.md §2.6 for the follow-on).
-	in := partsToRows(parts)
+	// materialised here (see DESIGN.md §2.6 for the follow-on). With a memory
+	// budget set, the columnar inputs are staged through a spill store first
+	// (see sortInputRows).
+	in, err := e.sortInputRows(n.child.schema(), parts, st)
+	if err != nil {
+		return nil, err
+	}
 	total := countRows(in)
 	if e.rangeSort && e.shufflePartitions > 1 && total > e.shufflePartitions*rangeSortMinRowsPerPartition {
 		return e.evalSortRange(ctx, in, total, cmp, st)
@@ -1124,6 +1233,46 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([]pa
 	})
 }
 
+// sortInputRows materialises the sort input as boxed rows. With a memory
+// budget set and columnar partitions, the batches are first staged in a spill
+// store — cold ones move to disk — and restored one partition at a time while
+// the boxed rows are built, so the columnar copy of the input is bounded by
+// the budget during the materialisation. Without a budget (or with row-backed
+// partitions) this is exactly partsToRows.
+func (e *Engine) sortInputRows(schema *storage.Schema, parts []part, st *execState) ([][]storage.Row, error) {
+	if e.memoryBudget <= 0 || !e.vectorize {
+		return partsToRows(parts), nil
+	}
+	batches, ok := batchesOf(parts)
+	if !ok || len(batches) == 0 {
+		return partsToRows(parts), nil
+	}
+	store, err := storage.NewPartitionStore(schema, len(batches), storage.WithMemoryBudget(e.memoryBudget))
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(store)
+	for i, b := range batches {
+		batches[i] = nil // staged: the store (or its spill file) owns the batch now
+		if err := store.Append(i, b); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]storage.Row, store.Partitions())
+	for p := range out {
+		rows := make([]storage.Row, 0, store.PartitionRows(p))
+		err := store.EachBatch(p, func(b *storage.ColumnBatch) error {
+			rows = append(rows, b.Rows()...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[p] = rows
+	}
+	return out, nil
+}
+
 // evalSortRange implements the range-partitioned parallel sort: sample the
 // input to estimate the key distribution, derive shufflePartitions-1 split
 // points, range-shuffle every row to its partition, and stable-sort the
@@ -1136,16 +1285,15 @@ func (e *Engine) evalSortRange(ctx context.Context, in [][]storage.Row, total in
 
 	// Sample deterministically: a fixed stride over the input approximates
 	// the key distribution without an RNG, so repeated runs pick identical
-	// split points.
+	// split points. The stride rounds up so the collected sample never
+	// exceeds the target budget (truncating division used to oversample by up
+	// to a partition's worth of rows, e.g. 334 samples for a 320-row target).
 	target := e.shufflePartitions * sortSamplesPerPartition
 	if target > total {
 		target = total
 	}
-	stride := total / target
-	if stride < 1 {
-		stride = 1
-	}
-	sample := make([]storage.Row, 0, target+1)
+	stride := (total + target - 1) / target
+	sample := make([]storage.Row, 0, target)
 	i := 0
 	for _, p := range in {
 		for _, r := range p {
@@ -1190,9 +1338,12 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 	if err != nil {
 		return nil, fmt.Errorf("dataflow: group-by: %w", err)
 	}
-	if e.vectorize && e.combine {
+	if e.vectorize {
 		if batches, ok := batchesOf(parts); ok {
-			return e.evalGroupByCombinedBatch(ctx, n, batches, enc, st)
+			if e.combine {
+				return e.evalGroupByCombinedBatch(ctx, n, batches, enc, st)
+			}
+			return e.evalGroupByBatch(ctx, n, batches, enc, st)
 		}
 	}
 	in := partsToRows(parts)

@@ -147,8 +147,11 @@ func genChain(rng *rand.Rand, d *Dataset) *Dataset {
 	return d
 }
 
-// equivalenceEngines builds the three execution modes over identical fresh
-// clusters (same seed, no failure injection).
+// equivalenceEngines builds the four execution modes over identical fresh
+// clusters (same seed, no failure injection). The spill mode is the
+// vectorized engine with a one-byte memory budget, which forces every batch
+// a wide operator accumulates straight to disk — the results must stay
+// bit-identical to the in-memory runs.
 func equivalenceEngines(t *testing.T) map[string]*Engine {
 	t.Helper()
 	build := func(opts ...EngineOption) *Engine {
@@ -166,11 +169,13 @@ func equivalenceEngines(t *testing.T) map[string]*Engine {
 		"vectorized": build(),
 		"row":        build(WithVectorizedExecution(false)),
 		"unfused":    build(WithFusion(false), WithVectorizedExecution(false)),
+		"spill":      build(WithMemoryBudget(1)),
 	}
 }
 
 func TestRandomizedPlanEquivalence(t *testing.T) {
 	ctx := context.Background()
+	var totalSpilled int64
 	for seed := int64(0); seed < 40; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -194,7 +199,7 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 				results[mode] = res
 			}
 			base := results["row"]
-			for _, mode := range []string{"vectorized", "unfused"} {
+			for _, mode := range []string{"vectorized", "unfused", "spill"} {
 				got := results[mode]
 				if !got.Schema.Equal(base.Schema) {
 					t.Fatalf("%s schema %s != row schema %s", mode, got.Schema, base.Schema)
@@ -214,12 +219,24 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 					t.Errorf("%s RowsOutput = %d, want %d", mode, got.Stats.RowsOutput, base.Stats.RowsOutput)
 				}
 			}
-			// The vectorized run over the fused plan must also agree with the
+			// The vectorized runs over the fused plan must also agree with the
 			// row run on shuffle traffic: the batch shuffle moves the same
-			// rows, just without boxing them.
-			if v, r := results["vectorized"].Stats.ShuffledRows, base.Stats.ShuffledRows; v != r {
-				t.Errorf("vectorized ShuffledRows = %d, row = %d", v, r)
+			// rows, just without boxing them — and routing the buckets through
+			// the spill store must not change what crosses the boundary.
+			for _, mode := range []string{"vectorized", "spill"} {
+				if v, r := results[mode].Stats.ShuffledRows, base.Stats.ShuffledRows; v != r {
+					t.Errorf("%s ShuffledRows = %d, row = %d", mode, v, r)
+				}
 			}
+			if results["spill"].Stats.SpilledBatches > 0 && results["spill"].Stats.SpilledBytes == 0 {
+				t.Error("spilled batches reported without spilled bytes")
+			}
+			totalSpilled += results["spill"].Stats.SpilledBatches
 		})
+	}
+	// With a one-byte budget, any seed whose plan reaches a batch-backed wide
+	// operator must have spilled; across 40 seeds that must have happened.
+	if totalSpilled == 0 {
+		t.Error("spill mode never spilled a batch across the whole suite")
 	}
 }

@@ -1,0 +1,368 @@
+package dataflow
+
+// spill_test.go covers the spill-to-disk batch store as the dataflow engine
+// uses it: wide operators forced under a tiny memory budget must spill their
+// accumulated batches, restore them transparently, and produce bit-identical
+// results to the unlimited in-memory runs — and the counters/Explain surface
+// must report the spill state. It also holds the negative-zero key regression
+// tests: -0.0 and 0.0 must land in one group/row/match set in every execution
+// mode.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func spillEngine(t *testing.T, opts ...EngineOption) *Engine {
+	t.Helper()
+	c, err := cluster.New(cluster.Uniform(2, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func spillBenchSchema(t *testing.T) *storage.Schema {
+	t.Helper()
+	return storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "v", Type: storage.TypeFloat, Nullable: true},
+		storage.Field{Name: "tag", Type: storage.TypeString},
+	)
+}
+
+func spillBenchData(n, keys int) []storage.Row {
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		var v storage.Value = float64((i*7919)%1000) / 8
+		if i%11 == 0 {
+			v = nil
+		}
+		rows[i] = storage.Row{int64(i % keys), v, "t" + string(rune('a'+i%5))}
+	}
+	return rows
+}
+
+// assertSameResult compares two Collect results row by row.
+func assertSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !got.Schema.Equal(want.Schema) {
+		t.Fatalf("%s: schema %s != %s", label, got.Schema, want.Schema)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if !reflect.DeepEqual(got.Rows[i], want.Rows[i]) {
+			t.Fatalf("%s: row %d = %#v, want %#v", label, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// TestSpillShuffledJoin forces every shuffle bucket of a non-broadcast join
+// to disk and requires the joined output to match the in-memory run exactly.
+func TestSpillShuffledJoin(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	facts := spillBenchData(4000, 64)
+	dimSchema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "label", Type: storage.TypeString},
+	)
+	dim := make([]storage.Row, 64)
+	for i := range dim {
+		dim[i] = storage.Row{int64(i), "label-" + string(rune('a'+i%7))}
+	}
+	plan := func() *Dataset {
+		return FromRows("facts", schema, facts, 4).
+			Join(FromRows("dims", dimSchema, dim, 2), "k", "k", InnerJoin)
+	}
+
+	mem := spillEngine(t, WithBroadcastJoin(false))
+	base, err := mem.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.SpilledBatches != 0 {
+		t.Fatalf("unlimited engine spilled %d batches", base.Stats.SpilledBatches)
+	}
+
+	spill := spillEngine(t, WithBroadcastJoin(false), WithMemoryBudget(1))
+	got, err := spill.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.SpilledBatches == 0 || got.Stats.SpilledBytes == 0 {
+		t.Fatalf("budgeted join did not spill: batches=%d bytes=%d",
+			got.Stats.SpilledBatches, got.Stats.SpilledBytes)
+	}
+	if got.Stats.ShuffledRows != base.Stats.ShuffledRows {
+		t.Errorf("spilled ShuffledRows = %d, want %d", got.Stats.ShuffledRows, base.Stats.ShuffledRows)
+	}
+	assertSameResult(t, "shuffled join under budget", got, base)
+
+	// The engine registry must expose the same counters.
+	snap := spill.Metrics().Snapshot()
+	if snap.CounterValue("spill.batches") != got.Stats.SpilledBatches {
+		t.Errorf("spill.batches counter = %d, want %d",
+			snap.CounterValue("spill.batches"), got.Stats.SpilledBatches)
+	}
+	if snap.CounterValue("spill.bytes") != got.Stats.SpilledBytes {
+		t.Errorf("spill.bytes counter = %d, want %d",
+			snap.CounterValue("spill.bytes"), got.Stats.SpilledBytes)
+	}
+}
+
+// TestSpillGroupByNonCombined drives the non-combined columnar group-by
+// (every row crosses the shuffle through the store) under a forced budget and
+// compares it against both the row-at-a-time non-combined run and the
+// unlimited batch run.
+func TestSpillGroupByNonCombined(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	data := spillBenchData(5000, 40)
+	plan := func() *Dataset {
+		return FromRows("g", schema, data, 4).
+			GroupBy("k").
+			Agg(Count(), Sum("v"), Min("v"), CountDistinct("tag"))
+	}
+
+	rowEngine := spillEngine(t, WithMapSideCombine(false), WithVectorizedExecution(false))
+	base, err := rowEngine.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchEngine := spillEngine(t, WithMapSideCombine(false))
+	batch, err := batchEngine.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "batch group-by vs row", batch, base)
+
+	spill := spillEngine(t, WithMapSideCombine(false), WithMemoryBudget(1))
+	got, err := spill.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.SpilledBatches == 0 {
+		t.Fatal("budgeted group-by did not spill")
+	}
+	assertSameResult(t, "spilled group-by vs row", got, base)
+}
+
+// TestSpillDistinct forces the map-side distinct's survivor shuffle to disk.
+func TestSpillDistinct(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	data := spillBenchData(4000, 25)
+	plan := func() *Dataset { return FromRows("d", schema, data, 4).Distinct("k", "tag") }
+
+	base, err := spillEngine(t).Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill := spillEngine(t, WithMemoryBudget(1))
+	got, err := spill.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.SpilledBatches == 0 {
+		t.Fatal("budgeted distinct did not spill")
+	}
+	if got.Stats.DistinctPrecombinedRows != base.Stats.DistinctPrecombinedRows {
+		t.Errorf("spilled DistinctPrecombinedRows = %d, want %d",
+			got.Stats.DistinctPrecombinedRows, base.Stats.DistinctPrecombinedRows)
+	}
+	assertSameResult(t, "distinct under budget", got, base)
+}
+
+// TestSpillSortStaging checks that a budgeted sort stages its columnar input
+// through the spill store and still produces the identical ordering.
+func TestSpillSortStaging(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	data := spillBenchData(3000, 1000)
+	plan := func() *Dataset {
+		return FromRows("s", schema, data, 4).Sort(SortOrder{Column: "v"}, SortOrder{Column: "k", Descending: true})
+	}
+	base, err := spillEngine(t).Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill := spillEngine(t, WithMemoryBudget(1))
+	got, err := spill.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.SpilledBatches == 0 {
+		t.Fatal("budgeted sort did not stage/spill its input batches")
+	}
+	assertSameResult(t, "sort under budget", got, base)
+}
+
+// TestSortSampleBudget pins the evalSortRange fix: with truncating stride
+// division a 1000-row input sorted across 10 partitions collected 334 samples
+// against a 320-row target; the ceiling stride must keep the sample within
+// target + partitions.
+func TestSortSampleBudget(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	data := spillBenchData(1000, 997)
+	const partitions = 10
+	e := spillEngine(t, WithShufflePartitions(partitions))
+	d := FromRows("sample", schema, data, 4).Sort(SortOrder{Column: "k"})
+	_, stats, err := e.CountStats(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := int64(partitions * sortSamplesPerPartition)
+	if stats.SortSampledRows == 0 {
+		t.Fatal("range sort did not sample")
+	}
+	if stats.SortSampledRows > target+partitions {
+		t.Errorf("SortSampledRows = %d, want <= target %d + partitions %d",
+			stats.SortSampledRows, target, partitions)
+	}
+}
+
+// TestExplainSpillState checks the physical-plan header and spill line name
+// the budget and spill state.
+func TestExplainSpillState(t *testing.T) {
+	schema := spillBenchSchema(t)
+	d := FromRows("x", schema, spillBenchData(10, 5), 2).Distinct("k")
+
+	mem := spillEngine(t)
+	plan := mem.Explain(d)
+	if !strings.Contains(plan, "memoryBudget=unlimited") || !strings.Contains(plan, "spill: disabled") {
+		t.Errorf("unlimited explain must name the budget and spill state:\n%s", plan)
+	}
+	spill := spillEngine(t, WithMemoryBudget(65536))
+	plan = spill.Explain(d)
+	if !strings.Contains(plan, "memoryBudget=65536B") || !strings.Contains(plan, "spill: enabled (budget 65536 bytes") {
+		t.Errorf("budgeted explain must name the budget and spill state:\n%s", plan)
+	}
+	rowMode := spillEngine(t, WithMemoryBudget(65536), WithVectorizedExecution(false))
+	if plan = rowMode.Explain(d); !strings.Contains(plan, "spill: inactive") {
+		t.Errorf("row-mode explain must flag the inactive budget:\n%s", plan)
+	}
+}
+
+// negZeroModes builds the execution-mode matrix the negative-zero regression
+// runs under: vectorized, row fused, unfused, and vectorized with spilling
+// forced.
+func negZeroModes(t *testing.T) map[string]*Engine {
+	t.Helper()
+	return map[string]*Engine{
+		"vectorized": spillEngine(t),
+		"row":        spillEngine(t, WithVectorizedExecution(false)),
+		"unfused":    spillEngine(t, WithFusion(false), WithVectorizedExecution(false)),
+		"spill":      spillEngine(t, WithMemoryBudget(1)),
+	}
+}
+
+// TestNegativeZeroGroupBy pins the key-equality fix: -0.0 and 0.0 compare
+// equal (CompareValues, Go ==) so group-by must place them in one group in
+// every execution mode.
+func TestNegativeZeroGroupBy(t *testing.T) {
+	ctx := context.Background()
+	negZero := math.Copysign(0, -1)
+	schema := storage.MustSchema(
+		storage.Field{Name: "f", Type: storage.TypeFloat},
+		storage.Field{Name: "n", Type: storage.TypeInt},
+	)
+	rows := []storage.Row{
+		{negZero, int64(1)}, {0.0, int64(2)}, {1.5, int64(3)}, {0.0, int64(4)}, {negZero, int64(5)},
+	}
+	for mode, e := range negZeroModes(t) {
+		res, err := e.Collect(ctx, FromRows("nz", schema, rows, 2).GroupBy("f").Agg(Count()))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("%s: group-by produced %d groups, want 2 (zero and 1.5): %v", mode, len(res.Rows), res.Rows)
+		}
+		for _, r := range res.Rows {
+			if f := r[0].(float64); f == 0 && r[1].(int64) != 4 {
+				t.Errorf("%s: zero group counted %v rows, want 4", mode, r[1])
+			}
+		}
+	}
+}
+
+// TestNegativeZeroDistinct requires distinct to collapse -0.0 and 0.0 into
+// one row in every execution mode.
+func TestNegativeZeroDistinct(t *testing.T) {
+	ctx := context.Background()
+	negZero := math.Copysign(0, -1)
+	schema := storage.MustSchema(storage.Field{Name: "f", Type: storage.TypeFloat})
+	rows := []storage.Row{{negZero}, {0.0}, {2.5}, {negZero}, {0.0}}
+	for mode, e := range negZeroModes(t) {
+		res, err := e.Collect(ctx, FromRows("nz", schema, rows, 2).Distinct())
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("%s: distinct produced %d rows, want 2: %v", mode, len(res.Rows), res.Rows)
+		}
+	}
+}
+
+// TestNegativeZeroJoin requires a -0.0 probe key to match a +0.0 build key in
+// both join strategies (broadcast and shuffled) in every execution mode.
+func TestNegativeZeroJoin(t *testing.T) {
+	ctx := context.Background()
+	negZero := math.Copysign(0, -1)
+	leftSchema := storage.MustSchema(
+		storage.Field{Name: "f", Type: storage.TypeFloat},
+		storage.Field{Name: "id", Type: storage.TypeInt},
+	)
+	rightSchema := storage.MustSchema(
+		storage.Field{Name: "f", Type: storage.TypeFloat},
+		storage.Field{Name: "label", Type: storage.TypeString},
+	)
+	left := []storage.Row{{negZero, int64(1)}, {3.5, int64(2)}}
+	right := []storage.Row{{0.0, "zero"}, {3.5, "other"}}
+	modeOpts := map[string][]EngineOption{
+		"vectorized": nil,
+		"row":        {WithVectorizedExecution(false)},
+		"unfused":    {WithFusion(false), WithVectorizedExecution(false)},
+		"spill":      {WithMemoryBudget(1)},
+	}
+	for _, strategy := range []struct {
+		name string
+		opts []EngineOption
+	}{
+		{"broadcast", nil},
+		{"shuffled", []EngineOption{WithBroadcastJoin(false)}},
+	} {
+		for mode, extra := range modeOpts {
+			opts := append(append([]EngineOption{}, strategy.opts...), extra...)
+			e := spillEngine(t, opts...)
+			plan := FromRows("l", leftSchema, left, 2).
+				Join(FromRows("r", rightSchema, right, 2), "f", "f", InnerJoin)
+			res, err := e.Collect(ctx, plan)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strategy.name, mode, err)
+			}
+			if len(res.Rows) != 2 {
+				t.Fatalf("%s/%s: join produced %d rows, want 2 (both keys must match): %v",
+					strategy.name, mode, len(res.Rows), res.Rows)
+			}
+			for _, r := range res.Rows {
+				if r[1].(int64) == 1 && r[3].(string) != "zero" {
+					t.Errorf("%s/%s: -0.0 row joined %v, want \"zero\"", strategy.name, mode, r[3])
+				}
+			}
+		}
+	}
+}

@@ -227,11 +227,12 @@ func (e *Engine) Explain(d *Dataset) string {
 		return fmt.Sprintf("<invalid plan: %v>", err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, shufflePartitions=%d)\n",
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, shufflePartitions=%d, memoryBudget=%s)\n",
 		onOff(e.fuse), onOff(e.combine), onOff(e.rangeSort),
 		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct),
-		onOff(e.vectorize), e.shufflePartitions)
+		onOff(e.vectorize), e.shufflePartitions, e.budgetLabel())
 	fmt.Fprintf(&sb, "  execution mode: %s\n", e.executionMode())
+	fmt.Fprintf(&sb, "  spill: %s\n", e.spillMode())
 	e.explainNode(&sb, d.node, 1)
 	return sb.String()
 }
@@ -245,6 +246,26 @@ func (e *Engine) executionMode() string {
 		return "row-at-a-time (fused)"
 	default:
 		return "row-at-a-time (per-operator)"
+	}
+}
+
+// budgetLabel renders the memory budget for the Explain header.
+func (e *Engine) budgetLabel() string {
+	if e.memoryBudget <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%dB", e.memoryBudget)
+}
+
+// spillMode names the spill state of wide-operator accumulations.
+func (e *Engine) spillMode() string {
+	switch {
+	case e.memoryBudget <= 0:
+		return "disabled (unlimited budget, partitions stay in memory)"
+	case !e.vectorize:
+		return fmt.Sprintf("inactive (budget %d bytes set, but spilling needs vectorized execution)", e.memoryBudget)
+	default:
+		return fmt.Sprintf("enabled (budget %d bytes per accumulation, cold batches spill to temp files)", e.memoryBudget)
 	}
 }
 

@@ -240,41 +240,22 @@ type keyedBatch struct {
 // once, straight from the column vectors), only the surviving rows cross the
 // shuffle — gathered by batch index, with their keys carried — and the merge
 // side dedups on the carried keys. The baseline shuffles every row and keys
-// again on the reduce side.
+// again on the reduce side. Under a memory budget both shapes route their
+// shuffle through a spill-backed partition store (see evalDistinctBatchSpill
+// for the combined variant).
 func (e *Engine) evalDistinctBatch(ctx context.Context, schema *storage.Schema,
 	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
 
 	if !e.mapSideDistinct {
-		buckets := e.shuffleBatches(in, schema, enc, st)
-		out := make([]part, len(buckets))
-		tasks := make([]cluster.Task, len(buckets))
-		for bi := range buckets {
-			bi := bi
-			tasks[bi] = cluster.Task{
-				Name: fmt.Sprintf("distinct[%d]", bi),
-				Fn: func(ctx context.Context, node cluster.Node) error {
-					b := buckets[bi]
-					local := enc.Clone()
-					seen := make(map[string]struct{}, b.Len())
-					sel := make([]int32, 0, b.Len())
-					for i := 0; i < b.Len(); i++ {
-						k := local.BatchKey(b, i)
-						if _, dup := seen[string(k)]; dup {
-							continue
-						}
-						seen[string(k)] = struct{}{}
-						sel = append(sel, int32(i))
-					}
-					out[bi] = batchPart(b.Gather(sel))
-					return nil
-				},
-			}
+		store, err := e.shuffleBatches(in, schema, enc, st)
+		if err != nil {
+			return nil, err
 		}
-		st.addTasks(len(tasks))
-		if _, err := e.cluster.RunNamedJob(ctx, "distinct", tasks); err != nil {
-			return nil, fmt.Errorf("dataflow: distinct: %w", err)
-		}
-		return out, nil
+		defer st.releaseStore(store)
+		return e.distinctMergeFromStore(ctx, "distinct", schema, store, enc, st)
+	}
+	if e.memoryBudget > 0 {
+		return e.evalDistinctBatchSpill(ctx, schema, in, enc, st)
 	}
 
 	// Map side: one task per input batch dedups locally and gathers the
@@ -375,6 +356,97 @@ func (e *Engine) evalDistinctBatch(ctx context.Context, schema *storage.Schema,
 	return out, nil
 }
 
+// evalDistinctBatchSpill is the budgeted variant of the combined distinct.
+// The map side dedups each partition locally exactly as the in-memory path
+// does, but the survivors shuffle through a spill-backed partition store
+// instead of carrying their key strings across the boundary, and the merge
+// side re-keys the restored rows. Re-keying survivors trades the carried-key
+// optimisation for bounded memory: a key string per surviving row would
+// otherwise stay pinned resident no matter how many batches spill.
+func (e *Engine) evalDistinctBatchSpill(ctx context.Context, schema *storage.Schema,
+	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	partials := make([]*storage.ColumnBatch, len(in))
+	tasks := make([]cluster.Task, len(in))
+	for i := range in {
+		i := i
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("distinct-combine[%d]", i),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				b := in[i]
+				local := enc.Clone()
+				seen := make(map[string]struct{}, 64)
+				var sel []int32
+				for r := 0; r < b.Len(); r++ {
+					k := local.BatchKey(b, r)
+					if _, dup := seen[string(k)]; dup {
+						continue
+					}
+					seen[string(k)] = struct{}{}
+					sel = append(sel, int32(r))
+				}
+				partials[i] = b.Gather(sel)
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "distinct-combine", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: distinct-combine: %w", err)
+	}
+	st.addPrecombined(countBatchRows(in) - countBatchRows(partials))
+	store, err := e.shuffleBatches(partials, schema, enc, st)
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(store)
+	return e.distinctMergeFromStore(ctx, "distinct-merge", schema, store, enc, st)
+}
+
+// distinctMergeFromStore runs one task per store partition that streams the
+// partition's batches — restoring spilled chunks transparently — and keeps
+// the first occurrence of every key.
+func (e *Engine) distinctMergeFromStore(ctx context.Context, name string, schema *storage.Schema,
+	store *storage.PartitionStore, enc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	nParts := store.Partitions()
+	out := make([]part, nParts)
+	tasks := make([]cluster.Task, nParts)
+	for bi := range tasks {
+		bi := bi
+		tasks[bi] = cluster.Task{
+			Name: fmt.Sprintf("%s[%d]", name, bi),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				local := enc.Clone()
+				rows := store.PartitionRows(bi)
+				seen := make(map[string]struct{}, rows)
+				res := storage.NewColumnBatch(schema, rows)
+				err := store.EachBatch(bi, func(b *storage.ColumnBatch) error {
+					for i := 0; i < b.Len(); i++ {
+						k := local.BatchKey(b, i)
+						if _, dup := seen[string(k)]; dup {
+							continue
+						}
+						seen[string(k)] = struct{}{}
+						res.AppendRowFrom(b, i)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				out[bi] = batchPart(res)
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, name, tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", name, err)
+	}
+	return out, nil
+}
+
 // ---------------------------------------------------------------------------
 // Group-by (batch map side)
 // ---------------------------------------------------------------------------
@@ -436,6 +508,87 @@ func (e *Engine) evalGroupByCombinedBatch(ctx context.Context, n *groupByNode,
 		return nil, fmt.Errorf("dataflow: groupby-combine: %w", err)
 	}
 	return e.mergeGroupPartials(ctx, partials, inputRows, st)
+}
+
+// evalGroupByBatch is the non-combined columnar group-by: every row crosses
+// the shuffle boundary through a partition store (spilling under budget) and
+// one task per bucket folds the restored batches into per-key aggregation
+// states, keying straight from the column vectors. It mirrors the row
+// baseline exactly — same bucket assignment, row order and group emission
+// order — so results are bit-identical to the row-at-a-time path.
+func (e *Engine) evalGroupByBatch(ctx context.Context, n *groupByNode,
+	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
+
+	inSchema := n.child.schema()
+	keyIdx := make([]int, len(n.keys))
+	for i, k := range n.keys {
+		keyIdx[i] = inSchema.IndexOf(k)
+	}
+	store, err := e.shuffleBatches(in, inSchema, enc, st)
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(store)
+	nParts := store.Partitions()
+	out := make([][]storage.Row, nParts)
+	tasks := make([]cluster.Task, nParts)
+	for b := range tasks {
+		b := b
+		tasks[b] = cluster.Task{
+			Name: fmt.Sprintf("groupby[%d]", b),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				type group struct {
+					keyValues []storage.Value
+					states    []*aggState
+				}
+				local := enc.Clone()
+				groups := make(map[string]*group)
+				var order []*group
+				err := store.EachBatch(b, func(cb *storage.ColumnBatch) error {
+					for r := 0; r < cb.Len(); r++ {
+						k := local.BatchKey(cb, r)
+						g, ok := groups[string(k)]
+						if !ok {
+							kv := make([]storage.Value, len(keyIdx))
+							for j, idx := range keyIdx {
+								kv[j] = cb.Value(r, idx)
+							}
+							states := make([]*aggState, len(n.aggs))
+							for j, a := range n.aggs {
+								states[j] = newAggState(a, inSchema)
+							}
+							g = &group{keyValues: kv, states: states}
+							groups[string(k)] = g
+							order = append(order, g)
+						}
+						for _, s := range g.states {
+							s.updateAt(cb, r)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				rows := make([]storage.Row, 0, len(order))
+				for _, g := range order {
+					row := make(storage.Row, 0, len(g.keyValues)+len(g.states))
+					row = append(row, g.keyValues...)
+					for _, s := range g.states {
+						row = append(row, s.result())
+					}
+					rows = append(rows, row)
+				}
+				out[b] = rows
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "groupby", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: groupby: %w", err)
+	}
+	return rowParts(out), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -529,18 +682,43 @@ func (e *Engine) evalJoinBatch(ctx context.Context, n *joinNode,
 		return out, nil
 	}
 
-	lBuckets := e.shuffleBatches(left, ls, lEnc, st)
-	rBuckets := e.shuffleBatches(right, rs, rEnc, st)
-	out := make([]part, len(lBuckets))
-	tasks := make([]cluster.Task, len(lBuckets))
-	for i := range lBuckets {
+	// Shuffled hash join through partition stores: under a memory budget the
+	// bucket chunks of both sides spill to disk as they accumulate; each task
+	// then restores its build-side bucket (flattened, since the hash table
+	// must be resident to probe) and streams its probe-side chunks one at a
+	// time.
+	lStore, err := e.shuffleBatches(left, ls, lEnc, st)
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(lStore)
+	rStore, err := e.shuffleBatches(right, rs, rEnc, st)
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(rStore)
+	nParts := lStore.Partitions()
+	out := make([]part, nParts)
+	tasks := make([]cluster.Task, nParts)
+	for i := range tasks {
 		i := i
 		tasks[i] = cluster.Task{
 			Name: fmt.Sprintf("join[%d]", i),
 			Fn: func(ctx context.Context, node cluster.Node) error {
-				build := batchJoinTable(rBuckets[i], rEnc.Clone())
-				res := storage.NewColumnBatch(n.out, lBuckets[i].Len())
-				probeBatch(res, lBuckets[i], build, rBuckets[i], lEnc.Clone(), n.kind)
+				buildBatch, err := rStore.FlattenPartition(i)
+				if err != nil {
+					return err
+				}
+				build := batchJoinTable(buildBatch, rEnc.Clone())
+				res := storage.NewColumnBatch(n.out, lStore.PartitionRows(i))
+				probe := lEnc.Clone()
+				err = lStore.EachBatch(i, func(pb *storage.ColumnBatch) error {
+					probeBatch(res, pb, build, buildBatch, probe, n.kind)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
 				out[i] = batchPart(res)
 				return nil
 			},

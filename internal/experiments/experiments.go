@@ -323,13 +323,21 @@ type Figure2Point struct {
 	// Batches counts the columnar batches the vectorized engine processed;
 	// zero would mean the run fell back to row-at-a-time execution.
 	Batches int64
+	// SpilledBatches and SpilledBytes count columnar batches (and their
+	// encoded size) written to spill files; zero under the default unlimited
+	// memory budget, where every partition stays resident.
+	SpilledBatches int64
+	SpilledBytes   int64
 }
 
 // Figure2 is the engine-scalability experiment.
 type Figure2 struct{ Points []Figure2Point }
 
 // RunFigure2 executes a representative aggregation+join pipeline over
-// synthetic retail data while sweeping worker slots and input size.
+// synthetic retail data while sweeping worker slots and input size. A final
+// spill-ablation point re-runs the largest configuration with a one-byte
+// memory budget (and the join forced to shuffle), so every committed
+// artifact records the spilled trajectory next to the resident runs.
 func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) (*Figure2, error) {
 	if len(workerSweep) == 0 {
 		workerSweep = []int{1, 2, 4, 8}
@@ -353,6 +361,8 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 				ShuffledRows:   stats.ShuffledRows,
 				BroadcastJoins: stats.BroadcastJoins,
 				Batches:        stats.Batches,
+				SpilledBatches: stats.SpilledBatches,
+				SpilledBytes:   stats.SpilledBytes,
 			}
 			if workers == workerSweep[0] {
 				baseline[rows] = wall.Seconds()
@@ -363,6 +373,24 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 			out.Points = append(out.Points, point)
 		}
 	}
+	rows := rowSweep[len(rowSweep)-1]
+	workers := workerSweep[len(workerSweep)-1]
+	wall, stats, err := runScalabilityPipeline(ctx, e.Seed, rows, workers,
+		dataflow.WithMemoryBudget(1), dataflow.WithBroadcastJoin(false))
+	if err != nil {
+		return nil, err
+	}
+	out.Points = append(out.Points, Figure2Point{
+		Workers:        workers,
+		Rows:           rows,
+		WallTime:       wall,
+		ThroughputRPS:  float64(rows) / wall.Seconds(),
+		ShuffledRows:   stats.ShuffledRows,
+		BroadcastJoins: stats.BroadcastJoins,
+		Batches:        stats.Batches,
+		SpilledBatches: stats.SpilledBatches,
+		SpilledBytes:   stats.SpilledBytes,
+	})
 	return out, nil
 }
 
@@ -371,7 +399,11 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 // slots. The scoring step performs a fixed amount of per-row numeric work
 // (mirroring the feature-engineering stages of the real campaigns) so the
 // parallel fraction of the pipeline dominates the fixed shuffle overhead.
-func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) (time.Duration, dataflow.Stats, error) {
+// Extra engine options layer on top of the partition count (the spill
+// ablation passes a memory budget and disables the broadcast join so the
+// shuffle actually accumulates batches).
+func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int,
+	opts ...dataflow.EngineOption) (time.Duration, dataflow.Stats, error) {
 	schema := storage.MustSchema(
 		storage.Field{Name: "id", Type: storage.TypeInt},
 		storage.Field{Name: "key", Type: storage.TypeInt},
@@ -395,7 +427,8 @@ func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int) 
 	if err != nil {
 		return 0, dataflow.Stats{}, err
 	}
-	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(workers))
+	engine, err := dataflow.NewEngine(cl, append([]dataflow.EngineOption{
+		dataflow.WithShufflePartitions(workers)}, opts...)...)
 	if err != nil {
 		return 0, dataflow.Stats{}, err
 	}
@@ -437,10 +470,11 @@ func (f *Figure2) String() string {
 			fmt.Sprintf("%d", p.ShuffledRows),
 			fmt.Sprintf("%d", p.BroadcastJoins),
 			fmt.Sprintf("%d", p.Batches),
+			fmt.Sprintf("%d", p.SpilledBatches),
 		})
 	}
 	return "Figure 2 — dataflow engine scalability (filter → join → group-by pipeline)\n" +
-		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches"}, rows)
+		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches", "spilled"}, rows)
 }
 
 // ---------------------------------------------------------------------------

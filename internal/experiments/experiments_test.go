@@ -139,8 +139,8 @@ func TestFigure2EngineScalability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Points) != 2 {
-		t.Fatalf("points = %d", len(fig.Points))
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d, want 2 sweep points + 1 spill ablation", len(fig.Points))
 	}
 	single, parallel := fig.Points[0], fig.Points[1]
 	if single.Workers != 1 || parallel.Workers != 4 {
@@ -152,6 +152,13 @@ func TestFigure2EngineScalability(t *testing.T) {
 	}
 	if parallel.SpeedupVs1 <= 1 {
 		t.Errorf("speedup = %.2f, want > 1", parallel.SpeedupVs1)
+	}
+	if single.SpilledBatches != 0 || parallel.SpilledBatches != 0 {
+		t.Errorf("resident sweep points must not spill: %+v", fig.Points[:2])
+	}
+	spillArm := fig.Points[2]
+	if spillArm.SpilledBatches == 0 || spillArm.SpilledBytes == 0 {
+		t.Errorf("spill ablation arm must report spilled batches and bytes: %+v", spillArm)
 	}
 	if !strings.Contains(fig.String(), "Figure 2") {
 		t.Error("rendering must carry the figure title")

@@ -39,9 +39,10 @@ var (
 
 // Runner executes alternatives against a data catalog.
 type Runner struct {
-	data        *storage.Catalog
-	seed        int64
-	failureRate float64
+	data         *storage.Catalog
+	seed         int64
+	failureRate  float64
+	memoryBudget int64
 }
 
 // Option configures the runner.
@@ -56,6 +57,14 @@ func WithSeed(seed int64) Option {
 // WithFailureInjection enables transient task failures at the given rate.
 func WithFailureInjection(rate float64) Option {
 	return func(r *Runner) { r.failureRate = rate }
+}
+
+// WithMemoryBudget bounds the bytes of columnar batch data the dataflow
+// engine keeps resident per wide-operator accumulation; batches past the
+// budget spill to temp files (see dataflow.WithMemoryBudget). <= 0 disables
+// spilling (the default).
+func WithMemoryBudget(bytes int64) Option {
+	return func(r *Runner) { r.memoryBudget = bytes }
 }
 
 // New returns a runner bound to the data catalog.
@@ -106,7 +115,9 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	if err != nil {
 		return nil, fmt.Errorf("runner: build cluster: %w", err)
 	}
-	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(alt.Plan.Parallelism))
+	engine, err := dataflow.NewEngine(cl,
+		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
+		dataflow.WithMemoryBudget(r.memoryBudget))
 	if err != nil {
 		return nil, fmt.Errorf("runner: build engine: %w", err)
 	}
@@ -187,7 +198,9 @@ func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (st
 	if err != nil {
 		return "", fmt.Errorf("runner: build cluster: %w", err)
 	}
-	engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(alt.Plan.Parallelism))
+	engine, err := dataflow.NewEngine(cl,
+		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
+		dataflow.WithMemoryBudget(r.memoryBudget))
 	if err != nil {
 		return "", fmt.Errorf("runner: build engine: %w", err)
 	}

@@ -70,6 +70,21 @@ func PartitionOfHash(h uint64, n int) int {
 	return int(h % uint64(n))
 }
 
+// floatKeyBits returns the bit pattern keyed for a float value. Negative zero
+// is normalised to positive zero first: -0.0 == 0.0 under Go equality and
+// CompareValues, but their raw Float64bits differ, and keying the raw bits
+// used to split the two values into distinct groups (group-by/distinct/join)
+// while sort treated them as one value. NaN deliberately stays keyed by its
+// raw bits: CompareValues has no total order for NaN (it reports NaN "equal"
+// to every float), so bitwise identity is the only grouping that is at least
+// self-consistent.
+func floatKeyBits(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}
+
 // AppendKeyValue appends the binary key encoding of a single value to dst and
 // returns the extended slice.
 func AppendKeyValue(dst []byte, v Value) []byte {
@@ -85,7 +100,7 @@ func AppendKeyValue(dst []byte, v Value) []byte {
 		return binary.BigEndian.AppendUint64(dst, uint64(x))
 	case float64:
 		dst = append(dst, keyTagFloat)
-		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x))
+		return binary.BigEndian.AppendUint64(dst, floatKeyBits(x))
 	case bool:
 		if x {
 			return append(dst, keyTagBool, 1)
@@ -188,7 +203,7 @@ func appendBatchValue(dst []byte, b *ColumnBatch, row, col int) []byte {
 		return binary.BigEndian.AppendUint64(dst, uint64(c.Int(row)))
 	case TypeFloat:
 		dst = append(dst, keyTagFloat)
-		return binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Float(row)))
+		return binary.BigEndian.AppendUint64(dst, floatKeyBits(c.Float(row)))
 	case TypeString:
 		s := c.Str(row)
 		dst = append(dst, keyTagString)

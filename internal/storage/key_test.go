@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -77,6 +78,52 @@ func TestKeyEncoderTypeTagged(t *testing.T) {
 	a := AppendKeyValue(AppendKeyValue(nil, "a"), "bc")
 	if bytes.Equal(ab, a) {
 		t.Error(`("ab","c") and ("a","bc") must encode differently`)
+	}
+}
+
+// TestKeyEncoderNegativeZero guards the float normalisation: -0.0 and 0.0
+// are equal under Go == and CompareValues, so they must produce identical key
+// bytes (and hashes) on both the row and the batch encoding paths — otherwise
+// group-by/distinct/join split them into two groups while sort orders them as
+// one value.
+func TestKeyEncoderNegativeZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if !bytes.Equal(AppendKeyValue(nil, negZero), AppendKeyValue(nil, 0.0)) {
+		t.Error("-0.0 and 0.0 must produce identical key bytes")
+	}
+	// Distinct non-zero values must still be distinct.
+	if bytes.Equal(AppendKeyValue(nil, -1.0), AppendKeyValue(nil, 1.0)) {
+		t.Error("-1.0 and 1.0 must produce different key bytes")
+	}
+
+	s := keyTestSchema(t)
+	enc, err := NewKeyEncoder(s, "score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowNeg := Row{int64(1), "a", negZero, true}
+	rowPos := Row{int64(2), "b", 0.0, false}
+	kNeg := append([]byte(nil), enc.Key(rowNeg)...)
+	if !bytes.Equal(kNeg, enc.Key(rowPos)) {
+		t.Error("row encoder must key -0.0 and 0.0 identically")
+	}
+	if enc.Hash(rowNeg) != enc.Hash(rowPos) {
+		t.Error("row encoder must hash -0.0 and 0.0 identically")
+	}
+
+	batch, err := BatchFromRows(s, []Row{rowNeg, rowPos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bNeg := append([]byte(nil), enc.BatchKey(batch, 0)...)
+	if !bytes.Equal(bNeg, enc.BatchKey(batch, 1)) {
+		t.Error("batch encoder must key -0.0 and 0.0 identically")
+	}
+	if !bytes.Equal(bNeg, kNeg) {
+		t.Error("batch and row encodings of the key must stay byte-identical")
+	}
+	if enc.BatchHash(batch, 0) != enc.BatchHash(batch, 1) {
+		t.Error("batch encoder must hash -0.0 and 0.0 identically")
 	}
 }
 

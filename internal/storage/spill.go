@@ -1,0 +1,506 @@
+package storage
+
+// spill.go implements the spill-to-disk layer under the columnar batch
+// representation: a compact binary codec that serialises ColumnBatch typed
+// vectors (round-trip exact, including float bit patterns and null bitmaps)
+// and a size-bounded PartitionStore that keeps hot batches in memory and
+// spills cold ones to a temp file once a configurable byte budget is
+// exceeded, restoring them transparently on read. The dataflow engine
+// accumulates shuffle buckets, sort inputs and join/group-by build sides into
+// a store instead of bare slices, which lets wide operators run over inputs
+// larger than the memory budget.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// Batch codec framing.
+const (
+	batchMagic   byte = 0xCB // "column batch"
+	batchVersion byte = 1
+)
+
+// ErrBadBatchEncoding is returned when DecodeBatch meets bytes that are not a
+// valid encoded batch (or one encoded for a different schema).
+var ErrBadBatchEncoding = fmt.Errorf("storage: bad batch encoding")
+
+// BatchMemSize estimates the in-memory footprint of a batch in bytes: the
+// typed vectors, string payloads, and null bitmap words. It is the unit the
+// PartitionStore budgets against.
+func BatchMemSize(b *ColumnBatch) int64 {
+	if b == nil {
+		return 0
+	}
+	n := int64(b.n)
+	var total int64
+	for c := range b.cols {
+		col := &b.cols[c]
+		switch col.typ {
+		case TypeInt, TypeTime, TypeFloat:
+			total += 8 * n
+		case TypeBool:
+			total += n
+		case TypeString:
+			// Slice header per string plus payload bytes.
+			total += 16 * n
+			for i := 0; i < b.n; i++ {
+				total += int64(len(col.strs[i]))
+			}
+		}
+		total += 8 * int64(len(col.nulls))
+	}
+	return total
+}
+
+// EncodeBatch appends the binary encoding of b to dst and returns the
+// extended slice. The format is self-describing per column — a type tag and a
+// byte-length prefix ahead of each column payload — and round-trip exact:
+// floats are stored as their raw IEEE-754 bits, so -0.0 and NaN payloads
+// survive a spill/restore cycle unchanged.
+//
+// Layout:
+//
+//	magic, version
+//	uvarint rows, uvarint cols
+//	per column:
+//	  type byte
+//	  uvarint payload length
+//	  payload: uvarint null words + words (LE) + values
+//	    int/time/float: rows × 8 bytes (BE)
+//	    bool:           ceil(rows/8) packed bytes
+//	    string:         per row uvarint length + bytes
+func EncodeBatch(dst []byte, b *ColumnBatch) []byte {
+	dst = append(dst, batchMagic, batchVersion)
+	dst = binary.AppendUvarint(dst, uint64(b.n))
+	dst = binary.AppendUvarint(dst, uint64(len(b.cols)))
+	var payload []byte
+	for c := range b.cols {
+		col := &b.cols[c]
+		payload = appendColumnPayload(payload[:0], col, b.n)
+		dst = append(dst, byte(col.typ))
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	return dst
+}
+
+// appendColumnPayload encodes the first n rows of col (vectors may be longer
+// than n for Head views, which share parent storage).
+func appendColumnPayload(dst []byte, col *Column, n int) []byte {
+	// Null bitmap: only the words covering rows [0,n), with stray bits past n
+	// in the last word masked off (a Head view shares its parent's bitmap).
+	words := (n + 63) / 64
+	if words > len(col.nulls) {
+		words = len(col.nulls)
+	}
+	dst = binary.AppendUvarint(dst, uint64(words))
+	for w := 0; w < words; w++ {
+		word := col.nulls[w]
+		if hi := n - w*64; hi < 64 {
+			word &= (1 << uint(hi)) - 1
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, word)
+	}
+	switch col.typ {
+	case TypeInt, TypeTime:
+		for i := 0; i < n; i++ {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(col.ints[i]))
+		}
+	case TypeFloat:
+		for i := 0; i < n; i++ {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(col.floats[i]))
+		}
+	case TypeBool:
+		packed := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if col.bools[i] {
+				packed[i>>3] |= 1 << uint(i&7)
+			}
+		}
+		dst = append(dst, packed...)
+	case TypeString:
+		for i := 0; i < n; i++ {
+			dst = binary.AppendUvarint(dst, uint64(len(col.strs[i])))
+			dst = append(dst, col.strs[i]...)
+		}
+	}
+	return dst
+}
+
+// DecodeBatch reconstructs a batch encoded by EncodeBatch. The schema must be
+// the one the batch was encoded under; column count and per-column types are
+// verified against it.
+func DecodeBatch(schema *Schema, data []byte) (*ColumnBatch, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: decode needs a schema", ErrEmptySchema)
+	}
+	if len(data) < 2 || data[0] != batchMagic || data[1] != batchVersion {
+		return nil, fmt.Errorf("%w: missing magic/version header", ErrBadBatchEncoding)
+	}
+	data = data[2:]
+	rows, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: truncated row count", ErrBadBatchEncoding)
+	}
+	data = data[k:]
+	// Cheapest possible column footprint is one bit per row (packed bools),
+	// so a row count past 8× the remaining bytes cannot be backed by any
+	// payload — reject it here instead of letting a corrupt frame drive a
+	// huge allocation below.
+	if rows > uint64(len(data))*8 {
+		return nil, fmt.Errorf("%w: row count %d exceeds payload capacity", ErrBadBatchEncoding, rows)
+	}
+	cols, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: truncated column count", ErrBadBatchEncoding)
+	}
+	data = data[k:]
+	if int(cols) != schema.Len() {
+		return nil, fmt.Errorf("%w: batch has %d columns, schema %s has %d",
+			ErrBadBatchEncoding, cols, schema, schema.Len())
+	}
+	n := int(rows)
+	b := &ColumnBatch{schema: schema, cols: make([]Column, cols), n: n}
+	for c := range b.cols {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("%w: truncated column %d", ErrBadBatchEncoding, c)
+		}
+		typ := FieldType(data[0])
+		if want := schema.Field(c).Type; typ != want {
+			return nil, fmt.Errorf("%w: column %d encoded as %s, schema expects %s",
+				ErrBadBatchEncoding, c, typ, want)
+		}
+		data = data[1:]
+		plen, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < plen {
+			return nil, fmt.Errorf("%w: truncated column %d payload", ErrBadBatchEncoding, c)
+		}
+		data = data[k:]
+		if err := decodeColumnPayload(&b.cols[c], typ, data[:plen], n); err != nil {
+			return nil, fmt.Errorf("column %d: %w", c, err)
+		}
+		data = data[plen:]
+	}
+	return b, nil
+}
+
+func decodeColumnPayload(col *Column, typ FieldType, data []byte, n int) error {
+	col.typ = typ
+	words, k := binary.Uvarint(data)
+	// Compare by division, not words*8: a forged word count near 2^64 would
+	// overflow the multiplication and slip past the bound.
+	if k <= 0 || words > uint64(len(data)-k)/8 {
+		return fmt.Errorf("%w: truncated null bitmap", ErrBadBatchEncoding)
+	}
+	data = data[k:]
+	if words > 0 {
+		col.nulls = make(nullBitmap, words)
+		for w := range col.nulls {
+			col.nulls[w] = binary.LittleEndian.Uint64(data[w*8:])
+		}
+		data = data[words*8:]
+	}
+	switch typ {
+	case TypeInt, TypeTime:
+		if len(data) != n*8 {
+			return fmt.Errorf("%w: int column payload is %d bytes, want %d", ErrBadBatchEncoding, len(data), n*8)
+		}
+		col.ints = make([]int64, n)
+		for i := range col.ints {
+			col.ints[i] = int64(binary.BigEndian.Uint64(data[i*8:]))
+		}
+	case TypeFloat:
+		if len(data) != n*8 {
+			return fmt.Errorf("%w: float column payload is %d bytes, want %d", ErrBadBatchEncoding, len(data), n*8)
+		}
+		col.floats = make([]float64, n)
+		for i := range col.floats {
+			col.floats[i] = math.Float64frombits(binary.BigEndian.Uint64(data[i*8:]))
+		}
+	case TypeBool:
+		if len(data) != (n+7)/8 {
+			return fmt.Errorf("%w: bool column payload is %d bytes, want %d", ErrBadBatchEncoding, len(data), (n+7)/8)
+		}
+		col.bools = make([]bool, n)
+		for i := range col.bools {
+			col.bools[i] = data[i>>3]&(1<<uint(i&7)) != 0
+		}
+	case TypeString:
+		col.strs = make([]string, n)
+		for i := range col.strs {
+			l, k := binary.Uvarint(data)
+			if k <= 0 || uint64(len(data)-k) < l {
+				return fmt.Errorf("%w: truncated string row %d", ErrBadBatchEncoding, i)
+			}
+			col.strs[i] = string(data[k : k+int(l)])
+			data = data[k+int(l):]
+		}
+		if len(data) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes after string column", ErrBadBatchEncoding, len(data))
+		}
+	default:
+		return fmt.Errorf("%w: unsupported column type %d", ErrBadBatchEncoding, typ)
+	}
+	return nil
+}
+
+// StoreOption configures a PartitionStore.
+type StoreOption func(*PartitionStore)
+
+// WithMemoryBudget bounds the bytes of batch data the store keeps resident
+// (estimated by BatchMemSize). Once an append pushes the resident total past
+// the budget, the coldest batches — oldest appends first — are encoded to the
+// store's spill file and their memory released. bytes <= 0 means unlimited
+// (the default): nothing ever spills.
+func WithMemoryBudget(bytes int64) StoreOption {
+	return func(s *PartitionStore) { s.budget = bytes }
+}
+
+// batchSlot is one sealed batch of a partition: resident (batch != nil) or
+// spilled (an offset/length range of the spill file).
+type batchSlot struct {
+	batch *ColumnBatch
+	mem   int64 // BatchMemSize estimate while resident
+	rows  int
+	off   int64 // spill-file location once spilled
+	len   int64
+	cold  bool
+}
+
+// PartitionStore holds the sealed column batches of a fixed number of
+// partitions, spilling cold batches to a single temp file when a memory
+// budget is configured and exceeded. Appends are expected from one goroutine
+// (the shuffle gather loop); reads (Partition, EachBatch) are safe from
+// concurrent task goroutines once appending is done, and restores go through
+// ReadAt so readers never contend on a file cursor. Close releases the spill
+// file; the store is single-use.
+type PartitionStore struct {
+	mu     sync.Mutex
+	schema *Schema
+	parts  [][]*batchSlot
+	rows   []int
+
+	budget   int64
+	resident int64
+	// appendOrder tracks resident slots oldest-first, so spilling evicts the
+	// coldest batches.
+	appendOrder []*batchSlot
+
+	file     *os.File
+	fileSize int64
+
+	spilledBatches  int64
+	spilledBytes    int64
+	restoredBatches int64
+
+	encodeBuf []byte
+}
+
+// NewPartitionStore returns an empty store over nParts partitions of batches
+// sharing the given schema.
+func NewPartitionStore(schema *Schema, nParts int, opts ...StoreOption) (*PartitionStore, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: partition store needs a schema", ErrEmptySchema)
+	}
+	if nParts < 1 {
+		nParts = 1
+	}
+	s := &PartitionStore{
+		schema: schema,
+		parts:  make([][]*batchSlot, nParts),
+		rows:   make([]int, nParts),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Partitions returns the number of partitions.
+func (s *PartitionStore) Partitions() int { return len(s.parts) }
+
+// PartitionRows returns the number of rows accumulated in partition p.
+func (s *PartitionStore) PartitionRows(p int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows[p]
+}
+
+// SpilledBatches returns the number of batches written to the spill file.
+func (s *PartitionStore) SpilledBatches() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBatches
+}
+
+// SpilledBytes returns the encoded bytes written to the spill file.
+func (s *PartitionStore) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBytes
+}
+
+// RestoredBatches returns the number of spilled batches decoded back on read.
+func (s *PartitionStore) RestoredBatches() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoredBatches
+}
+
+// Append seals b into partition p. The batch must not be mutated afterwards
+// (the store may hold a reference until it spills). Under budget pressure the
+// coldest resident batches — possibly b itself — are spilled before Append
+// returns, so resident bytes stay at or under the budget whenever batches are
+// individually smaller than it.
+func (s *PartitionStore) Append(p int, b *ColumnBatch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := &batchSlot{batch: b, mem: BatchMemSize(b), rows: b.Len()}
+	s.parts[p] = append(s.parts[p], slot)
+	s.rows[p] += b.Len()
+	s.resident += slot.mem
+	s.appendOrder = append(s.appendOrder, slot)
+	return s.enforceBudgetLocked()
+}
+
+// enforceBudgetLocked spills oldest resident slots until the resident total
+// fits the budget. Caller holds s.mu.
+func (s *PartitionStore) enforceBudgetLocked() error {
+	if s.budget <= 0 {
+		return nil
+	}
+	i := 0
+	for s.resident > s.budget && i < len(s.appendOrder) {
+		slot := s.appendOrder[i]
+		i++
+		if err := s.spillLocked(slot); err != nil {
+			return err
+		}
+	}
+	s.appendOrder = s.appendOrder[i:]
+	return nil
+}
+
+// spillLocked encodes one slot to the spill file and releases its memory.
+func (s *PartitionStore) spillLocked(slot *batchSlot) error {
+	if s.file == nil {
+		f, err := os.CreateTemp("", "toreador-spill-*.bin")
+		if err != nil {
+			return fmt.Errorf("storage: create spill file: %w", err)
+		}
+		s.file = f
+	}
+	s.encodeBuf = EncodeBatch(s.encodeBuf[:0], slot.batch)
+	if _, err := s.file.WriteAt(s.encodeBuf, s.fileSize); err != nil {
+		return fmt.Errorf("storage: write spill file: %w", err)
+	}
+	slot.off = s.fileSize
+	slot.len = int64(len(s.encodeBuf))
+	slot.cold = true
+	slot.batch = nil
+	s.fileSize += slot.len
+	s.resident -= slot.mem
+	s.spilledBatches++
+	s.spilledBytes += slot.len
+	return nil
+}
+
+// restore decodes one spilled slot from the file. Restored batches are handed
+// to the caller without being re-cached: consumers stream them once, and
+// re-caching would immediately push the store back over budget.
+func (s *PartitionStore) restore(off, length int64) (*ColumnBatch, error) {
+	buf := make([]byte, length)
+	if _, err := s.file.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: read spill file: %w", err)
+	}
+	b, err := DecodeBatch(s.schema, buf)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.restoredBatches++
+	s.mu.Unlock()
+	return b, nil
+}
+
+// EachBatch streams the batches of partition p in append order, restoring
+// spilled ones transparently. At most one restored batch is alive at a time,
+// so a streaming consumer's extra memory is bounded by the largest batch.
+func (s *PartitionStore) EachBatch(p int, f func(*ColumnBatch) error) error {
+	s.mu.Lock()
+	slots := s.parts[p]
+	s.mu.Unlock()
+	for _, slot := range slots {
+		b := slot.batch
+		if slot.cold {
+			var err error
+			if b, err = s.restore(slot.off, slot.len); err != nil {
+				return err
+			}
+		}
+		if err := f(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition materialises every batch of partition p, restoring spilled ones.
+func (s *PartitionStore) Partition(p int) ([]*ColumnBatch, error) {
+	var out []*ColumnBatch
+	err := s.EachBatch(p, func(b *ColumnBatch) error {
+		out = append(out, b)
+		return nil
+	})
+	return out, err
+}
+
+// FlattenPartition concatenates partition p into one batch (typed copies),
+// restoring spilled batches one at a time — the build-side read path of the
+// spilled hash join. A partition holding a single resident batch (the
+// unbudgeted shuffle's shape) is returned directly without copying; callers
+// must treat the result as read-only either way.
+func (s *PartitionStore) FlattenPartition(p int) (*ColumnBatch, error) {
+	s.mu.Lock()
+	if slots := s.parts[p]; len(slots) == 1 && !slots[0].cold {
+		b := slots[0].batch
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	out := NewColumnBatch(s.schema, s.PartitionRows(p))
+	err := s.EachBatch(p, func(b *ColumnBatch) error {
+		for i := 0; i < b.Len(); i++ {
+			out.AppendRowFrom(b, i)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close releases the spill file (if one was created). The store must not be
+// used afterwards.
+func (s *PartitionStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	name := s.file.Name()
+	err := s.file.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	s.file = nil
+	return err
+}

@@ -160,6 +160,11 @@ type Config struct {
 	// FailureRate enables transient task-failure injection on the simulated
 	// cluster (0 disables it).
 	FailureRate float64
+	// MemoryBudget bounds the bytes of columnar batch data the dataflow
+	// engine keeps resident per wide-operator accumulation; batches past the
+	// budget spill to temp files and are restored transparently on read.
+	// <= 0 (the default) disables spilling.
+	MemoryBudget int64
 }
 
 // Platform is the BDAaaS entry point: it owns the data catalog, the service
@@ -183,7 +188,8 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := runner.New(data, runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate))
+	run, err := runner.New(data, runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate),
+		runner.WithMemoryBudget(cfg.MemoryBudget))
 	if err != nil {
 		return nil, err
 	}
