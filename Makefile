@@ -25,9 +25,13 @@ bench-artifact:
 		> "bench-artifacts/BENCH_$$(git rev-parse --short=12 HEAD).json"
 
 # Diffs the two newest artifacts in bench-artifacts/ and prints a
-# per-benchmark delta table — the perf trajectory across commits.
+# per-benchmark delta table — the perf trajectory across commits. The
+# threshold turns the diff into a regression gate: any wall-time metric more
+# than BENCH_THRESHOLD percent slower than the previous artifact fails the
+# target (set BENCH_THRESHOLD=0 for a report-only diff).
+BENCH_THRESHOLD ?= 15
 bench-compare:
-	$(GO) run ./cmd/toreador-bench -compare bench-artifacts
+	$(GO) run ./cmd/toreador-bench -compare bench-artifacts -threshold $(BENCH_THRESHOLD)
 
 # Fails (listing the offending files) when any file needs reformatting.
 fmt:

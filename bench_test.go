@@ -11,6 +11,7 @@ package toreador
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -771,6 +772,159 @@ func BenchmarkSpillGroupBy(b *testing.B) {
 			b.ReportMetric(float64(last.SpilledBatches), "spilled_batches/op")
 			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
 			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Columnar sort benchmarks (DESIGN.md §2.8): the typed-key selection-vector
+// sort core vs the boxed-row sort, and the spill-aware external merge vs the
+// unlimited in-memory columnar sort.
+// ---------------------------------------------------------------------------
+
+// sortBenchPlan builds the 4-key 100k-row sort the ablation pairs run: four
+// duplicate-heavy key columns covering every typed kernel (int, float,
+// string, bool) plus a unique payload column, sorted with mixed directions so
+// multi-key tie-breaking is exercised on every comparison path. A leading
+// filter stage (both arms run it vectorized) leaves the sort batch-backed
+// partitions, the shape every columnar pipeline hands its sort: the boxed arm
+// must materialise those batches back into rows, the typed arm sorts them in
+// place.
+func sortBenchPlan(rows int) *dataflow.Dataset {
+	schema := storage.MustSchema(
+		storage.Field{Name: "ki", Type: storage.TypeInt},
+		storage.Field{Name: "kf", Type: storage.TypeFloat},
+		storage.Field{Name: "ks", Type: storage.TypeString},
+		storage.Field{Name: "kb", Type: storage.TypeBool},
+		storage.Field{Name: "id", Type: storage.TypeInt},
+	)
+	data := make([]storage.Row, rows)
+	for i := range data {
+		scrambled := (uint64(i) * 2654435761) % 1_000_003
+		data[i] = storage.Row{
+			int64(scrambled % 50),
+			float64(scrambled%9) / 4,
+			"s" + string(rune('a'+scrambled%11)),
+			scrambled%2 == 0,
+			int64(i),
+		}
+	}
+	return dataflow.FromRows("sortbench", schema, data, 8).
+		Filter("id >= 0", func(r dataflow.Record) (bool, error) { return r.Int("id") >= 0, nil }).
+		Sort(
+			dataflow.SortOrder{Column: "ki"},
+			dataflow.SortOrder{Column: "kf", Descending: true},
+			dataflow.SortOrder{Column: "ks"},
+			dataflow.SortOrder{Column: "kb", Descending: true},
+		)
+}
+
+// BenchmarkSortColumnar sorts 100k rows on four typed keys with the
+// selection-vector sort core ("typed") and with the boxed-row core ("boxed",
+// WithColumnarSort(false)) — the latter materialises every batch back into
+// boxed rows and compares through interface values, which is where both the
+// allocation and the time gap come from. Both arms use CountStats, so the
+// numbers compare the sort cores, not result materialisation.
+func BenchmarkSortColumnar(b *testing.B) {
+	const rows = 100_000
+	plan := sortBenchPlan(rows)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"typed", true}, {"boxed", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithColumnarSort(mode.enabled))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != rows {
+					b.Fatalf("sort produced %d rows, want %d", n, rows)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Tasks), "tasks/op")
+			b.ReportMetric(float64(last.SortSampledRows), "sampled_rows/op")
+		})
+	}
+}
+
+// BenchmarkSortExternal runs the 4-key 100k-row sort with the unlimited
+// in-memory columnar core ("unlimited") and forced through the external
+// merge ("budgeted", one-byte budget: every range-shuffle chunk and every
+// sorted run spills through the codec). The peak_resident metric is the
+// measured side of the runs × chunk memory bound, asserted against the
+// BatchMemSize of one full chunk; results are checked bit-identical outside
+// the timed loops.
+func BenchmarkSortExternal(b *testing.B) {
+	const rows = 100_000
+	plan := sortBenchPlan(rows)
+	ctx := context.Background()
+
+	// Equivalence gate: the budgeted external merge must reproduce the
+	// in-memory ordering bit for bit.
+	baseRes, err := wideBenchEngine(b).Collect(ctx, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	extRes, err := wideBenchEngine(b, dataflow.WithMemoryBudget(1)).Collect(ctx, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(baseRes.Rows) != len(extRes.Rows) {
+		b.Fatalf("external sort emitted %d rows, in-memory %d", len(extRes.Rows), len(baseRes.Rows))
+	}
+	for i := range baseRes.Rows {
+		if !reflect.DeepEqual(baseRes.Rows[i], extRes.Rows[i]) {
+			b.Fatalf("external sort row %d = %#v, in-memory %#v", i, extRes.Rows[i], baseRes.Rows[i])
+		}
+	}
+	chunk, err := storage.BatchFromRows(baseRes.Schema, baseRes.Rows[:dataflow.SortChunkRows])
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunkMem := storage.BatchMemSize(chunk)
+
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{{"unlimited", 0}, {"budgeted", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b, dataflow.WithMemoryBudget(mode.budget))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != rows {
+					b.Fatalf("sort produced %d rows, want %d", n, rows)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			if mode.budget > 0 {
+				if last.SortRuns == 0 || last.SortMergedBatches == 0 {
+					b.Fatalf("budgeted sort must merge spilled runs, got runs=%d merged=%d",
+						last.SortRuns, last.SortMergedBatches)
+				}
+				if last.SortPeakResidentBytes > last.SortRuns*chunkMem {
+					b.Fatalf("sort peak resident %d exceeds runs(%d) × chunk(%d)",
+						last.SortPeakResidentBytes, last.SortRuns, chunkMem)
+				}
+			}
+			b.ReportMetric(float64(last.SortRuns), "sort_runs/op")
+			b.ReportMetric(float64(last.SortMergedBatches), "merged_batches/op")
+			b.ReportMetric(float64(last.SortPeakResidentBytes), "peak_resident_bytes/op")
+			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
 		})
 	}
 }

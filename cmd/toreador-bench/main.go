@@ -12,6 +12,8 @@
 //	toreador-bench -json             # machine-readable output (CI artifacts)
 //	toreador-bench -json -commit abc # stamp the artifact with a commit id
 //	toreador-bench -compare DIR      # delta table of the two newest artifacts
+//	toreador-bench -compare DIR -threshold 15
+//	                                 # same, failing on >15% wall-time regressions
 package main
 
 import (
@@ -53,12 +55,13 @@ func run(args []string, out io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit results as a single JSON object keyed by experiment name")
 		commit    = fs.String("commit", "", "commit id recorded in the JSON artifact's _meta block")
 		compare   = fs.String("compare", "", "directory of BENCH_*.json artifacts: diff the two newest and print a per-benchmark delta table")
+		threshold = fs.Float64("threshold", 0, "with -compare: exit non-zero when any wall-time metric regresses by more than this percent vs the previous artifact (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *compare != "" {
-		return compareArtifacts(out, *compare)
+		return compareArtifacts(out, *compare, *threshold)
 	}
 	env, err := experiments.NewEnv(*seed, workload.Sizing{
 		Customers: *customers, Meters: *meters, Days: *days, Users: *users,
@@ -130,7 +133,11 @@ type artifactMeta struct {
 // compareArtifacts loads every BENCH_*.json in dir, picks the two newest by
 // their _meta timestamps, and prints a per-benchmark delta table of the
 // headline numeric metrics — the perf trajectory between the two commits.
-func compareArtifacts(out io.Writer, dir string) error {
+// With threshold > 0 it is also the regression gate: any duration metric (the
+// experiment analogue of ns/op) that grew by more than threshold percent
+// fails the run with a non-zero exit, which is what CI wires into the job
+// summary.
+func compareArtifacts(out io.Writer, dir string, threshold float64) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return err
@@ -190,18 +197,53 @@ func compareArtifacts(out io.Writer, dir string) error {
 	}
 	fmt.Fprintf(out, "bench delta: %s -> %s\n", name(oldA), name(newA))
 	fmt.Fprintf(out, "%-58s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	var regressions []string
 	for _, k := range keys {
 		o, n := oldVals[k], newVals[k]
 		delta := "n/a"
 		if o != 0 {
-			delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+			pct := (n - o) / o * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if threshold > 0 && durationMetric(k) && o >= gateFloorNanos && pct > threshold {
+				regressions = append(regressions, fmt.Sprintf("%s %s", k, delta))
+			}
 		}
 		fmt.Fprintf(out, "%-58s %14.4g %14.4g %9s\n", k, o, n, delta)
 	}
 	if len(keys) == 0 {
 		fmt.Fprintln(out, "(no comparable metrics found)")
 	}
+	if threshold > 0 {
+		if len(regressions) > 0 {
+			fmt.Fprintf(out, "\nregression gate (+%.0f%%): FAILED\n", threshold)
+			for _, r := range regressions {
+				fmt.Fprintf(out, "  %s\n", r)
+			}
+			return fmt.Errorf("%d wall-time metric(s) regressed more than %.0f%% vs %s",
+				len(regressions), threshold, name(oldA))
+		}
+		fmt.Fprintf(out, "\nregression gate (+%.0f%%): ok\n", threshold)
+	}
 	return nil
+}
+
+// gateFloorNanos keeps the regression gate off noise-dominated timings:
+// duration metrics whose baseline is under 10ms swing far more than any
+// plausible threshold between runs (and between CI machines), so only the
+// substantial pipeline measurements gate.
+const gateFloorNanos = 10_000_000
+
+// durationMetric reports whether the flattened path is a nanosecond duration
+// — the experiment-suite analogue of ns/op, where an increase is a
+// regression. Throughput-style metrics (rows/s, speedups, scores) regress
+// downward and are reported in the table but never gate.
+func durationMetric(path string) bool {
+	for _, suffix := range []string{"WallTime", "TotalCompile", "Execution"} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // flattenNumeric walks decoded JSON and collects numeric leaves keyed by
@@ -241,7 +283,7 @@ func interestingMetric(path string) bool {
 	for _, suffix := range []string{
 		"ThroughputRPS", "SpeedupVs1", "ShuffledRows", "BroadcastJoins", "Batches",
 		"WallTime", "TotalCompile", "Execution", "CrossoverRows", "EffectiveScore",
-		"Accuracy", "CompliantAlternatives",
+		"Accuracy", "CompliantAlternatives", "SortRuns",
 	} {
 		if strings.HasSuffix(path, suffix) {
 			return true

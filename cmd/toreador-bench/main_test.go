@@ -111,6 +111,82 @@ func TestBenchCLICompare(t *testing.T) {
 	}
 }
 
+// TestBenchCLICompareThreshold covers the regression gate: wall-time metrics
+// past the threshold must fail the compare with a non-zero exit, improvements
+// and within-threshold noise must pass, and throughput-style metrics must
+// never gate (they regress downward).
+func TestBenchCLICompareThreshold(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, commit string, unix int64, wall, throughput float64) {
+		doc := map[string]any{
+			"_meta": artifactMeta{Commit: commit, GeneratedUnix: unix},
+			"figure2": map[string]any{"Points": []any{
+				map[string]any{"WallTime": wall, "ThroughputRPS": throughput},
+			}},
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wall time up 50% (well above the 10ms noise floor), throughput halved:
+	// only the duration metric gates.
+	write("BENCH_old.json", "old", 100, 20_000_000, 2000)
+	write("BENCH_new.json", "new", 200, 30_000_000, 1000)
+
+	out, err := runBenchCLI(t, "-compare", dir, "-threshold", "15")
+	if err == nil {
+		t.Fatalf("50%% wall-time regression must fail a 15%% gate:\n%s", out)
+	}
+	if !strings.Contains(out, "regression gate (+15%): FAILED") || !strings.Contains(out, "WallTime") {
+		t.Errorf("gate output must name the regressed metric:\n%s", out)
+	}
+	if strings.Contains(err.Error(), "ThroughputRPS") {
+		t.Errorf("throughput metrics must not gate: %v", err)
+	}
+
+	out, err = runBenchCLI(t, "-compare", dir, "-threshold", "60")
+	if err != nil {
+		t.Fatalf("a 60%% gate must tolerate a 50%% regression: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "regression gate (+60%): ok") {
+		t.Errorf("passing gate must report ok:\n%s", out)
+	}
+
+	// Sub-10ms baselines are noise-dominated and must not gate even on huge
+	// relative swings.
+	noiseDir := t.TempDir()
+	writeTo := func(dir, name, commit string, unix int64, wall float64) {
+		doc := map[string]any{
+			"_meta":   artifactMeta{Commit: commit, GeneratedUnix: unix},
+			"figure2": map[string]any{"Points": []any{map[string]any{"WallTime": wall}}},
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTo(noiseDir, "BENCH_old.json", "old", 100, 100_000)
+	writeTo(noiseDir, "BENCH_new.json", "new", 200, 300_000)
+	if out, err = runBenchCLI(t, "-compare", noiseDir, "-threshold", "15"); err != nil {
+		t.Fatalf("sub-floor timings must not gate: %v\n%s", err, out)
+	}
+
+	// Threshold 0 (the default) keeps compare report-only.
+	if out, err = runBenchCLI(t, "-compare", dir); err != nil {
+		t.Fatalf("default compare must stay report-only: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "regression gate") {
+		t.Errorf("report-only compare must not print a gate line:\n%s", out)
+	}
+}
+
 func TestBenchCLIFlagParsing(t *testing.T) {
 	if _, err := runBenchCLI(t, "-not-a-flag"); err == nil {
 		t.Error("bad flags must fail")

@@ -156,6 +156,56 @@ func TestCLIExplainNamesWideStrategies(t *testing.T) {
 	}
 }
 
+// TestCLIExplainBudgetedSortStrategy drives explain with a one-byte memory
+// budget over the forecasting campaign: the rendered physical plan must show
+// the budget in the header and name the spill-aware sort strategy — an
+// external merge with its statically-bounded run count — instead of the
+// in-memory columnar core.
+func TestCLIExplainBudgetedSortStrategy(t *testing.T) {
+	campaign := &model.Campaign{
+		Name:     "cli-forecast-budget",
+		Vertical: "energy",
+		Goal: model.Goal{
+			Task:        model.TaskForecasting,
+			TargetTable: "meter_readings",
+			ValueColumn: "kwh",
+			TimeColumn:  "read_at",
+		},
+		Sources: []model.DataSource{{Table: "meter_readings", ContainsPersonalData: true, Region: "eu"}},
+		Regime:  model.RegimePseudonymize,
+	}
+	path := filepath.Join(t.TempDir(), "forecast-budget.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := campaign.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-scenario", "energy", "-campaign", path, "-memory-budget", "1", "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"memoryBudget=1B",
+		"Sort([{read_at false}])",
+		"[external merge (runs≤",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("budgeted explain output missing %q:\n%s", want, out)
+		}
+	}
+	// The unbudgeted run of the same campaign names the in-memory core.
+	out, err = runCLI(t, "-scenario", "energy", "-campaign", path, "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[columnar in-memory]") {
+		t.Errorf("unbudgeted explain must name the columnar sort core:\n%s", out)
+	}
+}
+
 func TestCLIAlternativesInterferencePlan(t *testing.T) {
 	campaign := writeCampaignFile(t)
 	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "alternatives")

@@ -26,6 +26,14 @@ const (
 	rangeSortMinRowsPerPartition = 64
 )
 
+// SortChunkRows is the fixed chunk size of the external merge sort: under a
+// memory budget each partition sorts SortChunkRows-row chunks into sorted
+// runs that spill through the batch codec and merge back with a loser tree,
+// so the sort's resident accumulation is bounded by runs × chunk instead of
+// the partition size. Exported so the ablation benchmarks can state the
+// bound they assert.
+const SortChunkRows = 4096
+
 // Engine compiles logical plans into tasks and executes them on a simulated
 // cluster. Before execution the engine's stage compiler fuses maximal chains
 // of narrow operators into single-job stages (see stage.go); wide operators
@@ -58,6 +66,13 @@ type Engine struct {
 	// shuffle by batch index. Disabled, every partition is a []storage.Row
 	// and operators run row at a time (the ablation baseline).
 	vectorize bool
+	// columnarSort enables the typed-key columnar sort core under vectorized
+	// execution: selection vectors are ordered by per-type compare kernels
+	// directly over the column vectors, and under a memory budget the sort
+	// runs as a spill-aware external merge. Disabled, Sort materialises its
+	// batches back into boxed rows and sorts with the interface-based row
+	// comparators (the pre-typed-sort behaviour, kept for ablation).
+	columnarSort bool
 	// strictValidate re-enables per-row schema validation of every Map and
 	// FlatMap output on the row-at-a-time paths. Off (the default), only the
 	// first output row of each partition is validated eagerly; the vectorized
@@ -232,6 +247,18 @@ func WithVectorizedExecution(enabled bool) EngineOption {
 	return func(e *Engine) { e.vectorize = enabled }
 }
 
+// WithColumnarSort toggles the typed-key columnar sort core (default on).
+// Enabled (and with vectorized execution on), Sort orders selection vectors
+// with per-type compare kernels directly over the column vectors and, under
+// a memory budget, runs as a spill-aware external merge of sorted runs.
+// Disabled, Sort materialises its batch inputs back into boxed rows and
+// sorts with the interface-based row comparators — the pre-typed-sort
+// behaviour kept as the "boxed" arm of BenchmarkSortColumnar. Row-at-a-time
+// execution (WithVectorizedExecution(false)) ignores this switch.
+func WithColumnarSort(enabled bool) EngineOption {
+	return func(e *Engine) { e.columnarSort = enabled }
+}
+
 // WithStrictValidation re-enables schema validation of every Map/FlatMap
 // output row on the row-at-a-time paths (default off). With it off, only the
 // first output row of each partition is validated, which catches the common
@@ -270,6 +297,7 @@ func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 		broadcastThreshold: defaultBroadcastThreshold,
 		mapSideDistinct:    true,
 		vectorize:          true,
+		columnarSort:       true,
 	}
 	if e.shufflePartitions < 1 {
 		e.shufflePartitions = 1
@@ -307,6 +335,16 @@ type Stats struct {
 	// SortSampledRows is the number of rows sampled to derive range-sort
 	// split points.
 	SortSampledRows int64
+	// SortRuns is the number of sorted runs the external merge sort spilled
+	// and merged. Zero when sorts ran columnar in-memory or row-at-a-time.
+	SortRuns int64
+	// SortMergedBatches is the number of output batches the external sort's
+	// loser-tree merges emitted.
+	SortMergedBatches int64
+	// SortPeakResidentBytes is the largest resident footprint any single
+	// partition's run store reached while sorting externally — the measured
+	// side of the runs × chunk memory bound.
+	SortPeakResidentBytes int64
 	// DistinctPrecombinedRows is the number of duplicate rows the map-side
 	// dedup pass removed before distinct shuffles.
 	DistinctPrecombinedRows int64
@@ -372,6 +410,23 @@ func (s *execState) addSampled(n int) {
 	s.stats.SortSampledRows += int64(n)
 	s.mu.Unlock()
 }
+func (s *execState) addSortRuns(n int) {
+	s.mu.Lock()
+	s.stats.SortRuns += int64(n)
+	s.mu.Unlock()
+}
+func (s *execState) addSortMerged(n int) {
+	s.mu.Lock()
+	s.stats.SortMergedBatches += int64(n)
+	s.mu.Unlock()
+}
+func (s *execState) noteSortPeak(bytes int64) {
+	s.mu.Lock()
+	if bytes > s.stats.SortPeakResidentBytes {
+		s.stats.SortPeakResidentBytes = bytes
+	}
+	s.mu.Unlock()
+}
 func (s *execState) addPrecombined(n int) {
 	s.mu.Lock()
 	s.stats.DistinctPrecombinedRows += int64(n)
@@ -428,6 +483,8 @@ func (e *Engine) execute(ctx context.Context, d *Dataset) ([]part, *execState, e
 	e.reg.Counter("shuffle.combined").Add(st.stats.CombinedRows)
 	e.reg.Counter("joins.broadcast").Add(st.stats.BroadcastJoins)
 	e.reg.Counter("sort.sampled").Add(st.stats.SortSampledRows)
+	e.reg.Counter("sort.runs").Add(st.stats.SortRuns)
+	e.reg.Counter("sort.merged.batches").Add(st.stats.SortMergedBatches)
 	e.reg.Counter("distinct.precombined").Add(st.stats.DistinctPrecombinedRows)
 	e.reg.Counter("batches").Add(st.stats.Batches)
 	e.reg.Counter("batches.rows").Add(st.stats.BatchRows)
@@ -550,14 +607,23 @@ func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([]part
 	case *sourceNode:
 		return e.evalSource(n, st)
 	case *filterNode:
+		if e.vectorize {
+			return e.evalSingleOpVectorized(ctx, n, n.child, st)
+		}
 		return e.evalFilter(ctx, n, st)
 	case *mapNode:
 		return e.evalMap(ctx, n, st)
 	case *flatMapNode:
 		return e.evalFlatMap(ctx, n, st)
 	case *projectNode:
+		if e.vectorize {
+			return e.evalSingleOpVectorized(ctx, n, n.child, st)
+		}
 		return e.evalProject(ctx, n, st)
 	case *withColumnNode:
+		if e.vectorize {
+			return e.evalSingleOpVectorized(ctx, n, n.child, st)
+		}
 		return e.evalWithColumn(ctx, n, st)
 	case *sampleNode:
 		return e.evalSample(ctx, n, st)
@@ -609,6 +675,19 @@ func (e *Engine) evalSource(n *sourceNode, st *execState) ([]part, error) {
 		return out, nil
 	}
 	return rowParts(n.partitions), nil
+}
+
+// evalSingleOpVectorized runs one narrow operator as its own cluster job
+// through the existing batch kernels — the vectorized unfused path. With the
+// stage compiler off (WithFusion(false)) narrow operators used to fall back
+// to row-at-a-time execution even under vectorized execution; wrapping the
+// single operator as a one-op chain reuses runVectorizedChain unchanged, so
+// the unfused ablation arm now isolates the scheduling cost of per-operator
+// jobs instead of conflating it with boxed-row execution. Only operators
+// with a batch kernel route here (filter, project, with_column); Map/FlatMap
+// closures and Sample keep their row paths when unfused.
+func (e *Engine) evalSingleOpVectorized(ctx context.Context, op planNode, child planNode, st *execState) ([]part, error) {
+	return e.evalFusedVectorized(ctx, fusedChain{ops: []planNode{op}, base: child, limit: -1}, st)
 }
 
 // runPerPartition executes fn once per input partition as parallel cluster
@@ -939,15 +1018,30 @@ const spillChunkRows = 4096
 
 // shuffleBatches hash-partitions columnar batches on keys encoded straight
 // from the column vectors into a partition store, so no boxed Row is ever
-// materialised on either side of the shuffle. Without a memory budget the
-// gather runs in two passes (exact pre-sizing, one resident batch per bucket
-// — the pre-spill behaviour). With a budget it gathers in spillChunkRows
-// chunks that seal into the store as they fill; the store spills the coldest
-// chunks to disk whenever the resident total exceeds the budget, and the
-// consuming tasks restore them transparently on read. Callers must release
-// the store via execState.releaseStore once its partitions are consumed.
+// materialised on either side of the shuffle. See gatherBatches for the
+// gather and spill mechanics. Callers must release the store via
+// execState.releaseStore once its partitions are consumed.
 func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schema,
 	enc *storage.KeyEncoder, st *execState) (*storage.PartitionStore, error) {
+
+	local := enc.Clone()
+	return e.gatherBatches(in, schema, st, func(b *storage.ColumnBatch, i int) int {
+		return storage.PartitionOfHash(local.BatchHash(b, i), e.shufflePartitions)
+	})
+}
+
+// gatherBatches redistributes columnar batches into a partition store under
+// an arbitrary (batch, row) → partition assignment — hash buckets for the
+// keyed shuffles, range buckets for the columnar sort. Without a memory
+// budget the gather runs in two passes (exact pre-sizing, one resident batch
+// per bucket — the pre-spill behaviour). With a budget it gathers in
+// spillChunkRows chunks that seal into the store as they fill; the store
+// spills the coldest chunks to disk whenever the resident total exceeds the
+// budget, and the consuming tasks restore them transparently on read.
+// Callers must release the store via execState.releaseStore once its
+// partitions are consumed.
+func (e *Engine) gatherBatches(in []*storage.ColumnBatch, schema *storage.Schema,
+	st *execState, partOf func(b *storage.ColumnBatch, i int) int) (*storage.PartitionStore, error) {
 
 	st.addStage()
 	nParts := e.shufflePartitions
@@ -961,7 +1055,6 @@ func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schem
 		st.releaseStore(store)
 		return nil, err
 	}
-	local := enc.Clone()
 	total, sealed := 0, 0
 	if e.memoryBudget <= 0 {
 		// Pass 1: bucket assignment per (batch, row), plus per-bucket counts
@@ -973,7 +1066,7 @@ func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schem
 			total += n
 			a := make([]int32, n)
 			for i := 0; i < n; i++ {
-				p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
+				p := partOf(b, i)
 				a[i] = int32(p)
 				counts[p]++
 			}
@@ -1006,7 +1099,7 @@ func (e *Engine) shuffleBatches(in []*storage.ColumnBatch, schema *storage.Schem
 			n := b.Len()
 			total += n
 			for i := 0; i < n; i++ {
-				p := storage.PartitionOfHash(local.BatchHash(b, i), nParts)
+				p := partOf(b, i)
 				ob := open[p]
 				if ob == nil {
 					ob = storage.NewColumnBatch(schema, spillChunkRows)
@@ -1201,15 +1294,18 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([]pa
 	if err != nil {
 		return nil, err
 	}
+	if e.vectorize && e.columnarSort {
+		return e.evalSortColumnar(ctx, n, parts, st)
+	}
 	cmp, err := rowComparator(n.child.schema(), n.orders)
 	if err != nil {
 		return nil, err
 	}
-	// Sorting is compare-dominated, not allocation-dominated, so the sort
-	// executes row at a time in every mode; batch-backed inputs are
-	// materialised here (see DESIGN.md §2.6 for the follow-on). With a memory
-	// budget set, the columnar inputs are staged through a spill store first
-	// (see sortInputRows).
+	// Boxed-row ablation arm (WithVectorizedExecution(false) or
+	// WithColumnarSort(false)): batch-backed inputs are materialised into
+	// boxed rows and sorted with the interface-based comparators. With a
+	// memory budget set, the columnar inputs are staged through a spill store
+	// first (see sortInputRows).
 	in, err := e.sortInputRows(n.child.schema(), parts, st)
 	if err != nil {
 		return nil, err
@@ -1227,17 +1323,35 @@ func (e *Engine) evalSort(ctx context.Context, n *sortNode, st *execState) ([]pa
 	}
 	st.addShuffled(total)
 	return e.runPerPartition(ctx, "sort", [][]storage.Row{all}, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
-		sorted := append([]storage.Row(nil), rows...)
-		sort.SliceStable(sorted, func(a, b int) bool { return cmp(sorted[a], sorted[b]) < 0 })
-		return sorted, nil
+		return sortRowsByIndex(rows, cmp), nil
 	})
 }
 
-// sortInputRows materialises the sort input as boxed rows. With a memory
-// budget set and columnar partitions, the batches are first staged in a spill
-// store — cold ones move to disk — and restored one partition at a time while
-// the boxed rows are built, so the columnar copy of the input is bounded by
-// the budget during the materialisation. Without a budget (or with row-backed
+// sortRowsByIndex stable-sorts one partition's rows through a pre-sized index
+// vector: SliceStable permutes 4-byte indices instead of 24-byte row headers
+// across its passes, and the output gathers once into an exactly pre-sized
+// slice — two allocations per partition no matter how many comparator passes
+// the sort makes (the old path re-copied the whole row slice before sorting
+// it in place).
+func sortRowsByIndex(rows []storage.Row, cmp func(a, b storage.Row) int) []storage.Row {
+	idx := make([]int32, len(rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cmp(rows[idx[a]], rows[idx[b]]) < 0 })
+	out := make([]storage.Row, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+// sortInputRows materialises the sort input as boxed rows for the boxed-sort
+// ablation arm (WithColumnarSort(false)). With a memory budget set and
+// columnar partitions, the batches are first staged in a spill store — cold
+// ones move to disk — and restored one partition at a time while the boxed
+// rows are built, so the columnar copy of the input is bounded by the budget
+// during the materialisation. Without a budget (or with row-backed
 // partitions) this is exactly partsToRows.
 func (e *Engine) sortInputRows(schema *storage.Schema, parts []part, st *execState) ([][]storage.Row, error) {
 	if e.memoryBudget <= 0 || !e.vectorize {
@@ -1318,10 +1432,243 @@ func (e *Engine) evalSortRange(ctx context.Context, in [][]storage.Row, total in
 	})
 
 	return e.runPerPartition(ctx, "sort-range", buckets, st, func(_ int, rows []storage.Row) ([]storage.Row, error) {
-		sorted := append([]storage.Row(nil), rows...)
-		sort.SliceStable(sorted, func(a, b int) bool { return cmp(sorted[a], sorted[b]) < 0 })
-		return sorted, nil
+		return sortRowsByIndex(rows, cmp), nil
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Sort (columnar)
+// ---------------------------------------------------------------------------
+
+// evalSortColumnar executes Sort end to end over columnar batches: per-type
+// compare kernels (batchComparator) order selection vectors directly over the
+// column vectors — no row is boxed anywhere, including the range-partition
+// sampling — and under a memory budget each partition runs as a spill-aware
+// external merge of sorted runs (sortPartitionColumnar). Row-backed input
+// partitions (wide-operator outputs) are converted once on entry, so ordered
+// analytics tails like sort-after-group-by stay columnar too.
+func (e *Engine) evalSortColumnar(ctx context.Context, n *sortNode, in []part, st *execState) ([]part, error) {
+	schema := n.child.schema()
+	cmp, err := newBatchComparator(schema, n.orders)
+	if err != nil {
+		return nil, err
+	}
+	batches := make([]*storage.ColumnBatch, 0, len(in))
+	total := 0
+	for _, p := range in {
+		b, err := toBatch(p, schema)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: sort input: %w", err)
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		batches = append(batches, b)
+		total += b.Len()
+	}
+	if e.rangeSort && e.shufflePartitions > 1 && total > e.shufflePartitions*rangeSortMinRowsPerPartition {
+		return e.evalSortRangeColumnar(ctx, batches, total, cmp, schema, st)
+	}
+	// Baseline (and small-input fallback): one task sorts the whole input —
+	// the columnar analogue of the single-task row sort.
+	st.addStage()
+	st.addShuffled(total)
+	out := make([][]*storage.ColumnBatch, 1)
+	task := []cluster.Task{{
+		Name: "sort[0]",
+		Fn: func(ctx context.Context, node cluster.Node) error {
+			sorted, err := e.sortPartitionColumnar(schema, cmp, total, st, func(f func(*storage.ColumnBatch) error) error {
+				for _, b := range batches {
+					if err := f(b); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			out[0] = sorted
+			return nil
+		},
+	}}
+	st.addTasks(1)
+	if _, err := e.cluster.RunNamedJob(ctx, "sort", task); err != nil {
+		return nil, fmt.Errorf("dataflow: sort: %w", err)
+	}
+	return sortedBatchParts(out, st), nil
+}
+
+// evalSortRangeColumnar is the columnar range-partitioned parallel sort: the
+// split-point sample is gathered from the typed columns (same deterministic
+// ceiling stride as the row path), rows range-shuffle by batch index through
+// a partition store (spilling under budget), and the partitions sort in
+// parallel — selection-vector sorts in memory, external run merges under a
+// budget. Output partition order concatenates to the globally sorted dataset
+// with the row path's exact stability semantics.
+func (e *Engine) evalSortRangeColumnar(ctx context.Context, in []*storage.ColumnBatch, total int,
+	cmp *batchComparator, schema *storage.Schema, st *execState) ([]part, error) {
+
+	target := e.shufflePartitions * sortSamplesPerPartition
+	if target > total {
+		target = total
+	}
+	stride := (total + target - 1) / target
+	sample := storage.NewColumnBatch(schema, target)
+	i := 0
+	for _, b := range in {
+		for r := 0; r < b.Len(); r++ {
+			if i%stride == 0 {
+				sample.AppendRowFrom(b, r)
+			}
+			i++
+		}
+	}
+	st.addSampled(sample.Len())
+	sortedSample := sample.Gather(cmp.sortedSelection(sample))
+	bounds := make([]int, 0, e.shufflePartitions-1)
+	for b := 1; b < e.shufflePartitions; b++ {
+		bounds = append(bounds, b*sortedSample.Len()/e.shufflePartitions)
+	}
+
+	// Range shuffle: partition p receives the rows in [bounds[p-1], bounds[p]),
+	// rows equal to a split point landing on its right — identical to the row
+	// path, so the two arms assign every row to the same partition.
+	store, err := e.gatherBatches(in, schema, st, func(b *storage.ColumnBatch, r int) int {
+		return sort.Search(len(bounds), func(x int) bool {
+			return cmp.Compare(b, r, sortedSample, bounds[x]) < 0
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.releaseStore(store)
+
+	nParts := store.Partitions()
+	out := make([][]*storage.ColumnBatch, nParts)
+	tasks := make([]cluster.Task, nParts)
+	for p := range tasks {
+		p := p
+		tasks[p] = cluster.Task{
+			Name: fmt.Sprintf("sort-range[%d]", p),
+			Fn: func(ctx context.Context, node cluster.Node) error {
+				sorted, err := e.sortPartitionColumnar(schema, cmp, store.PartitionRows(p), st,
+					func(f func(*storage.ColumnBatch) error) error { return store.EachBatch(p, f) })
+				if err != nil {
+					return err
+				}
+				out[p] = sorted
+				return nil
+			},
+		}
+	}
+	st.addTasks(len(tasks))
+	if _, err := e.cluster.RunNamedJob(ctx, "sort-range", tasks); err != nil {
+		return nil, fmt.Errorf("dataflow: sort-range: %w", err)
+	}
+	return sortedBatchParts(out, st), nil
+}
+
+// sortPartitionColumnar sorts one partition's batches, streamed by each. In
+// memory (no budget) it flattens the partition and gathers the sorted
+// selection vector — one output batch. Under a budget it is the external
+// merge: fixed SortChunkRows-row chunks are selection-sorted into runs, runs
+// spill through the batch codec when the run store's budget is exceeded, and
+// a loser-tree merge streams them back in chunk-sized output batches, so the
+// sort's own accumulation stays bounded by runs × chunk instead of the
+// partition size.
+func (e *Engine) sortPartitionColumnar(schema *storage.Schema, cmp *batchComparator, rows int,
+	st *execState, each func(func(*storage.ColumnBatch) error) error) ([]*storage.ColumnBatch, error) {
+
+	if rows == 0 {
+		return nil, nil
+	}
+	if e.memoryBudget <= 0 {
+		var list []*storage.ColumnBatch
+		if err := each(func(b *storage.ColumnBatch) error { list = append(list, b); return nil }); err != nil {
+			return nil, err
+		}
+		flat := list[0]
+		if len(list) > 1 {
+			flat = flattenBatches(schema, list)
+		}
+		return []*storage.ColumnBatch{flat.Gather(cmp.sortedSelection(flat))}, nil
+	}
+
+	rs, err := storage.NewRunStore(schema, e.memoryBudget)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		st.addSpilled(rs.SpilledBatches(), rs.SpilledBytes())
+		st.noteSortPeak(rs.MaxResidentBytes())
+		_ = rs.Close()
+	}()
+	chunkCap := SortChunkRows
+	if rows < chunkCap {
+		chunkCap = rows
+	}
+	open := storage.NewColumnBatch(schema, chunkCap)
+	seal := func() error {
+		if open.Len() == 0 {
+			return nil
+		}
+		if err := rs.AppendRun(open.Gather(cmp.sortedSelection(open))); err != nil {
+			return err
+		}
+		open = storage.NewColumnBatch(schema, chunkCap)
+		return nil
+	}
+	err = each(func(b *storage.ColumnBatch) error {
+		for i := 0; i < b.Len(); i++ {
+			open.AppendRowFrom(b, i)
+			if open.Len() >= SortChunkRows {
+				if err := seal(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := seal(); err != nil {
+		return nil, err
+	}
+	st.addSortRuns(rs.Runs())
+	var out []*storage.ColumnBatch
+	err = rs.Merge(cmp.Compare, SortChunkRows, func(b *storage.ColumnBatch) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.addSortMerged(len(out))
+	return out, nil
+}
+
+// sortedBatchParts flattens per-partition sorted batch sequences into the
+// engine's part list, preserving partition order (their concatenation is the
+// globally sorted output). Empty partitions keep a placeholder so the output
+// partition count matches the row path's.
+func sortedBatchParts(in [][]*storage.ColumnBatch, st *execState) []part {
+	out := make([]part, 0, len(in))
+	nBatches, nRows := 0, 0
+	for _, bs := range in {
+		if len(bs) == 0 {
+			out = append(out, rowPart(nil))
+			continue
+		}
+		for _, b := range bs {
+			out = append(out, batchPart(b))
+			nBatches++
+			nRows += b.Len()
+		}
+	}
+	st.addBatches(nBatches, nRows)
+	return out
 }
 
 // ---------------------------------------------------------------------------

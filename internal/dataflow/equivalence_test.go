@@ -166,10 +166,12 @@ func equivalenceEngines(t *testing.T) map[string]*Engine {
 		return e
 	}
 	return map[string]*Engine{
-		"vectorized": build(),
-		"row":        build(WithVectorizedExecution(false)),
-		"unfused":    build(WithFusion(false), WithVectorizedExecution(false)),
-		"spill":      build(WithMemoryBudget(1)),
+		"vectorized":  build(),
+		"row":         build(WithVectorizedExecution(false)),
+		"unfused":     build(WithFusion(false), WithVectorizedExecution(false)),
+		"unfused-vec": build(WithFusion(false)),
+		"boxed-sort":  build(WithColumnarSort(false)),
+		"spill":       build(WithMemoryBudget(1)),
 	}
 }
 
@@ -199,7 +201,7 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 				results[mode] = res
 			}
 			base := results["row"]
-			for _, mode := range []string{"vectorized", "unfused", "spill"} {
+			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "spill"} {
 				got := results[mode]
 				if !got.Schema.Equal(base.Schema) {
 					t.Fatalf("%s schema %s != row schema %s", mode, got.Schema, base.Schema)
@@ -238,5 +240,90 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 	// operator must have spilled; across 40 seeds that must have happened.
 	if totalSpilled == 0 {
 		t.Error("spill mode never spilled a batch across the whole suite")
+	}
+}
+
+// TestSortEquivalenceHeavyDuplicates is the sort-focused arm of the suite:
+// random multi-key sorts over schemas whose key columns carry heavy
+// duplicates (and nulls), executed columnar, row-at-a-time, unfused
+// (per-operator batch kernels), boxed-row (WithColumnarSort(false)) and as a
+// forced external merge (one-byte budget). All five must be bit-identical to
+// the stable row sort — a unique id column makes any stability drift between
+// the typed kernels, the boxed comparators and the loser-tree merge visible.
+func TestSortEquivalenceHeavyDuplicates(t *testing.T) {
+	ctx := context.Background()
+	var externalRuns int64
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := storage.MustSchema(
+				storage.Field{Name: "k", Type: storage.TypeInt, Nullable: true},
+				storage.Field{Name: "g", Type: storage.TypeString},
+				storage.Field{Name: "f", Type: storage.TypeFloat, Nullable: true},
+				storage.Field{Name: "b", Type: storage.TypeBool},
+				storage.Field{Name: "id", Type: storage.TypeInt},
+			)
+			n := 200 + rng.Intn(1800)
+			rows := make([]storage.Row, n)
+			for i := range rows {
+				var k storage.Value
+				if rng.Intn(8) > 0 {
+					k = int64(rng.Intn(4)) // 4-value domain: ties everywhere
+				}
+				var f storage.Value
+				if rng.Intn(10) > 0 {
+					f = float64(rng.Intn(6)) / 2
+				}
+				rows[i] = storage.Row{
+					k,
+					fmt.Sprintf("g%d", rng.Intn(3)),
+					f,
+					rng.Intn(2) == 0,
+					int64(i),
+				}
+			}
+			orders := []SortOrder{
+				{Column: "k"},
+				{Column: "g", Descending: rng.Intn(2) == 0},
+				{Column: "f", Descending: rng.Intn(2) == 0},
+				{Column: "b"},
+			}
+			plan := FromRows("sortequiv", schema, rows, 1+rng.Intn(6)).Sort(orders...)
+
+			engines := equivalenceEngines(t)
+			base, err := engines["row"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "spill"} {
+				got, err := engines[mode].Collect(ctx, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if len(got.Rows) != len(base.Rows) {
+					t.Fatalf("%s rows = %d, row arm = %d", mode, len(got.Rows), len(base.Rows))
+				}
+				for i := range got.Rows {
+					if !reflect.DeepEqual(got.Rows[i], base.Rows[i]) {
+						t.Fatalf("%s row %d = %#v, want %#v", mode, i, got.Rows[i], base.Rows[i])
+					}
+				}
+				if got.Stats.ShuffledRows != base.Stats.ShuffledRows {
+					t.Errorf("%s ShuffledRows = %d, row = %d", mode, got.Stats.ShuffledRows, base.Stats.ShuffledRows)
+				}
+			}
+			spillRes, err := engines["spill"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			externalRuns += spillRes.Stats.SortRuns
+			if spillRes.Stats.SortRuns > 0 && spillRes.Stats.SortMergedBatches == 0 {
+				t.Error("external sort reported runs but no merged batches")
+			}
+		})
+	}
+	if externalRuns == 0 {
+		t.Error("the one-byte-budget arm never sorted through external runs across the suite")
 	}
 }

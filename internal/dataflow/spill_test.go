@@ -210,6 +210,59 @@ func TestSpillSortStaging(t *testing.T) {
 	assertSameResult(t, "sort under budget", got, base)
 }
 
+// TestExternalSortRunsAndMerge drives the spill-aware external merge sort:
+// a budgeted multi-key sort must form sorted runs, spill them through the
+// codec, merge them back bit-identically to the unlimited columnar sort, and
+// keep its measured peak resident footprint within the runs × chunk bound.
+func TestExternalSortRunsAndMerge(t *testing.T) {
+	ctx := context.Background()
+	schema := spillBenchSchema(t)
+	data := spillBenchData(20_000, 137)
+	plan := func() *Dataset {
+		return FromRows("s", schema, data, 4).
+			Sort(SortOrder{Column: "v"}, SortOrder{Column: "k", Descending: true}, SortOrder{Column: "tag"})
+	}
+	base, err := spillEngine(t).Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.SortRuns != 0 {
+		t.Errorf("unlimited columnar sort must not form runs, got %d", base.Stats.SortRuns)
+	}
+	external := spillEngine(t, WithMemoryBudget(1))
+	got, err := external.Collect(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Stats
+	if st.SortRuns == 0 || st.SortMergedBatches == 0 {
+		t.Fatalf("budgeted sort must merge spilled runs, got runs=%d merged=%d", st.SortRuns, st.SortMergedBatches)
+	}
+	if st.SpilledBatches == 0 || st.SpilledBytes == 0 {
+		t.Fatalf("budgeted sort must spill through the codec, got batches=%d bytes=%d", st.SpilledBatches, st.SpilledBytes)
+	}
+	// The memory bound: no partition's run store may hold more than its run
+	// count × the largest chunk footprint. A whole 5000-row partition resident
+	// at once would blow well past it.
+	chunk, err := storage.BatchFromRows(schema, data[:SortChunkRows])
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkMem := storage.BatchMemSize(chunk)
+	if st.SortPeakResidentBytes == 0 {
+		t.Fatal("external sort must record its peak resident bytes")
+	}
+	if st.SortPeakResidentBytes > st.SortRuns*chunkMem {
+		t.Errorf("sort peak resident %d exceeds runs(%d) × chunk(%d)",
+			st.SortPeakResidentBytes, st.SortRuns, chunkMem)
+	}
+	assertSameResult(t, "external sort", got, base)
+	if snap := external.Metrics().Snapshot(); snap.CounterValue("sort.runs") == 0 ||
+		snap.CounterValue("sort.merged.batches") == 0 {
+		t.Error("sort.runs / sort.merged.batches counters must accumulate")
+	}
+}
+
 // TestSortSampleBudget pins the evalSortRange fix: with truncating stride
 // division a 1000-row input sorted across 10 partitions collected 334 samples
 // against a 320-row target; the ceiling stride must keep the sample within

@@ -227,10 +227,10 @@ func (e *Engine) Explain(d *Dataset) string {
 		return fmt.Sprintf("<invalid plan: %v>", err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, shufflePartitions=%d, memoryBudget=%s)\n",
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, columnarSort=%s, shufflePartitions=%d, memoryBudget=%s)\n",
 		onOff(e.fuse), onOff(e.combine), onOff(e.rangeSort),
 		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct),
-		onOff(e.vectorize), e.shufflePartitions, e.budgetLabel())
+		onOff(e.vectorize), onOff(e.columnarSort), e.shufflePartitions, e.budgetLabel())
 	fmt.Fprintf(&sb, "  execution mode: %s\n", e.executionMode())
 	fmt.Fprintf(&sb, "  spill: %s\n", e.spillMode())
 	e.explainNode(&sb, d.node, 1)
@@ -242,10 +242,36 @@ func (e *Engine) executionMode() string {
 	switch {
 	case e.fuse && e.vectorize:
 		return "vectorized (columnar batches)"
+	case e.vectorize:
+		return "vectorized (per-operator batch kernels)"
 	case e.fuse:
 		return "row-at-a-time (fused)"
 	default:
 		return "row-at-a-time (per-operator)"
+	}
+}
+
+// sortCoreLabel names the sort-core strategy the engine will run a Sort node
+// with, the physical counterpart of the range/single-task partitioning
+// decision. bound/bounded is the static input-size estimate, used to put an
+// upper bound on the external merge's run count (runs are fixed
+// SortChunkRows-row chunks, so the count is derivable before execution).
+func (e *Engine) sortCoreLabel(bound int, bounded bool) string {
+	switch {
+	case !e.vectorize:
+		return "[row sort]"
+	case !e.columnarSort:
+		return "[boxed-row sort]"
+	case e.memoryBudget <= 0:
+		return "[columnar in-memory]"
+	case bounded:
+		runs := (bound + SortChunkRows - 1) / SortChunkRows
+		if runs < 1 {
+			runs = 1
+		}
+		return fmt.Sprintf("[external merge (runs≤%d)]", runs)
+	default:
+		return "[external merge (chunked runs)]"
 	}
 }
 
@@ -363,7 +389,9 @@ func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
 	case *sortNode:
 		// Mirror evalSort's runtime decision: small bounded inputs take the
 		// single-task fallback even with range sorting enabled; unbounded
-		// inputs are assumed large enough to range-shuffle.
+		// inputs are assumed large enough to range-shuffle. The second tag
+		// names the sort core (typed columnar, external merge with its run
+		// bound, or the boxed-row ablation arms).
 		bound, bounded := estimateMaxRows(n.child)
 		small := bounded && bound <= e.shufflePartitions*rangeSortMinRowsPerPartition
 		if e.rangeSort && e.shufflePartitions > 1 && !small {
@@ -371,6 +399,7 @@ func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
 		} else {
 			label += " [single-task]"
 		}
+		label += " " + e.sortCoreLabel(bound, bounded)
 	case *joinNode:
 		if bound, ok := estimateMaxRows(n.right); e.broadcastJoin && ok && bound <= e.broadcastThreshold {
 			label += fmt.Sprintf(" [broadcast(build≤%d)]", bound)

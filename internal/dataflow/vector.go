@@ -17,14 +17,19 @@ package dataflow
 //     typed copies (shuffleBatches, ColumnBatch.Gather), so the shuffle
 //     never materialises a boxed Row either.
 //
-// Sorting stays row-at-a-time in every mode: it is compare-dominated and its
-// shuffle moves row pointers, so batches are materialised at the sort
-// boundary (typed sort keys are a ROADMAP follow-on).
+// Sort is columnar end to end as well (the batchComparator kernels below):
+// typed per-column compare kernels order selection vectors directly over the
+// column vectors, range-partition sampling reads the typed columns, and under
+// a memory budget each partition sorts fixed-size chunks into sorted runs
+// that spill through the batch codec and merge back with a loser tree
+// (storage.RunStore). The boxed-row sort survives as the ablation arm behind
+// WithColumnarSort(false).
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/storage"
@@ -220,6 +225,201 @@ func (e *Engine) runVectorizedChain(ch fusedChain, partIdx int, b *storage.Colum
 		cur = cur.Gather(sel)
 	}
 	return cur, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sort (typed comparator kernels)
+// ---------------------------------------------------------------------------
+
+// colCompareFn is one per-type compare kernel: it orders cell ai of column a
+// against cell bi of column b (both columns of the same field type) without
+// boxing either value. The result must match storage.CompareValues over the
+// boxed equivalents exactly — the row-at-a-time ablation arm sorts with
+// CompareValues, and any divergence (including which pairs count as equal,
+// which decides how a stable sort breaks ties) would break the bit-identical
+// equivalence contract.
+type colCompareFn func(a *storage.Column, ai int, b *storage.Column, bi int) int
+
+// compareNullCells orders the null cases: nulls sort first, two nulls tie.
+// ok is false when neither cell is null and the typed kernel must decide.
+func compareNullCells(aNull, bNull bool) (int, bool) {
+	switch {
+	case aNull && bNull:
+		return 0, true
+	case aNull:
+		return -1, true
+	case bNull:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// compareIntCells orders int/time cells. CompareValues routes numerics
+// through AsFloat, so the kernel compares the float64 conversions too: int64
+// pairs beyond 2^53 that collapse to the same float64 must stay "equal" here
+// as well, or the typed and boxed sorts would break ties differently.
+func compareIntCells(a *storage.Column, ai int, b *storage.Column, bi int) int {
+	if c, done := compareNullCells(a.Null(ai), b.Null(bi)); done {
+		return c
+	}
+	af, bf := float64(a.Int(ai)), float64(b.Int(bi))
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// compareFloatCells orders float cells. NaN compares "equal" to everything —
+// both < and > are false — which is CompareValues' behaviour too.
+func compareFloatCells(a *storage.Column, ai int, b *storage.Column, bi int) int {
+	if c, done := compareNullCells(a.Null(ai), b.Null(bi)); done {
+		return c
+	}
+	af, bf := a.Float(ai), b.Float(bi)
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareStringCells(a *storage.Column, ai int, b *storage.Column, bi int) int {
+	if c, done := compareNullCells(a.Null(ai), b.Null(bi)); done {
+		return c
+	}
+	as, bs := a.Str(ai), b.Str(bi)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// compareBoolCells orders bool cells: false < true.
+func compareBoolCells(a *storage.Column, ai int, b *storage.Column, bi int) int {
+	if c, done := compareNullCells(a.Null(ai), b.Null(bi)); done {
+		return c
+	}
+	ab, bb := a.Bool(ai), b.Bool(bi)
+	switch {
+	case !ab && bb:
+		return -1
+	case ab && !bb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// compareBoxedCells is the total fallback for column types without a typed
+// kernel: box both cells and defer to CompareValues. Schema-validated plans
+// never reach it.
+func compareBoxedCells(a *storage.Column, ai int, b *storage.Column, bi int) int {
+	return storage.CompareValues(a.Value(ai), b.Value(bi))
+}
+
+// sortKeyKernel is one resolved sort key: column position, direction, and the
+// type-selected compare kernel.
+type sortKeyKernel struct {
+	col  int
+	desc bool
+	cmp  colCompareFn
+}
+
+// batchComparator orders batch rows under a multi-key sort without
+// materialising or boxing them: each key compares through its typed kernel
+// and later keys only break ties of earlier ones, exactly like the row
+// comparator the ablation arm uses.
+type batchComparator struct {
+	keys []sortKeyKernel
+}
+
+// newBatchComparator resolves the sort orders against schema, selecting one
+// typed kernel per key column.
+func newBatchComparator(schema *storage.Schema, orders []SortOrder) (*batchComparator, error) {
+	keys := make([]sortKeyKernel, len(orders))
+	for i, o := range orders {
+		idx := schema.IndexOf(o.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("dataflow: sort: %w: column %q not in input schema %s",
+				storage.ErrUnknownField, o.Column, schema)
+		}
+		var cmp colCompareFn
+		switch schema.Field(idx).Type {
+		case storage.TypeInt, storage.TypeTime:
+			cmp = compareIntCells
+		case storage.TypeFloat:
+			cmp = compareFloatCells
+		case storage.TypeString:
+			cmp = compareStringCells
+		case storage.TypeBool:
+			cmp = compareBoolCells
+		default:
+			cmp = compareBoxedCells
+		}
+		keys[i] = sortKeyKernel{col: idx, desc: o.Descending, cmp: cmp}
+	}
+	return &batchComparator{keys: keys}, nil
+}
+
+// Compare orders row ai of batch a against row bi of batch b. Both batches
+// must share the comparator's schema. The signature matches
+// storage.BatchRowCompare, so the same comparator drives in-batch selection
+// sorts, range-bound searches and the external run merge.
+func (c *batchComparator) Compare(a *storage.ColumnBatch, ai int, b *storage.ColumnBatch, bi int) int {
+	for _, k := range c.keys {
+		r := k.cmp(a.Column(k.col), ai, b.Column(k.col), bi)
+		if r == 0 {
+			continue
+		}
+		if k.desc {
+			return -r
+		}
+		return r
+	}
+	return 0
+}
+
+// sortedSelection returns the stable sort permutation of b's rows as a
+// selection vector: Gather-ing it materialises the sorted batch with typed
+// copies. The key columns are resolved once and the sort permutes 4-byte
+// indices through slices.SortStableFunc (no reflect-based swapping), which is
+// what makes the columnar sort core allocation-free up to the selection
+// vector itself.
+func (c *batchComparator) sortedSelection(b *storage.ColumnBatch) []int32 {
+	cols := make([]*storage.Column, len(c.keys))
+	for i, k := range c.keys {
+		cols[i] = b.Column(k.col)
+	}
+	sel := make([]int32, b.Len())
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	slices.SortStableFunc(sel, func(x, y int32) int {
+		for i := range c.keys {
+			r := c.keys[i].cmp(cols[i], int(x), cols[i], int(y))
+			if r == 0 {
+				continue
+			}
+			if c.keys[i].desc {
+				return -r
+			}
+			return r
+		}
+		return 0
+	})
+	return sel
 }
 
 // ---------------------------------------------------------------------------

@@ -81,9 +81,14 @@ func TestExplainNamesExecutionMode(t *testing.T) {
 	if strings.Contains(plan, "[vectorized]") {
 		t.Errorf("row Explain must not tag stages as vectorized:\n%s", plan)
 	}
+	// Unfused but vectorized: narrow operators run one batch-kernel job each.
 	unfused := testEngineWith(t, WithFusion(false))
-	if plan := unfused.Explain(d); !strings.Contains(plan, "execution mode: row-at-a-time (per-operator)") {
-		t.Errorf("unfused Explain must name the per-operator mode:\n%s", plan)
+	if plan := unfused.Explain(d); !strings.Contains(plan, "execution mode: vectorized (per-operator batch kernels)") {
+		t.Errorf("unfused vectorized Explain must name the per-operator kernel mode:\n%s", plan)
+	}
+	unfusedRow := testEngineWith(t, WithFusion(false), WithVectorizedExecution(false))
+	if plan := unfusedRow.Explain(d); !strings.Contains(plan, "execution mode: row-at-a-time (per-operator)") {
+		t.Errorf("unfused row Explain must name the per-operator mode:\n%s", plan)
 	}
 }
 

@@ -59,6 +59,70 @@ func TestRangeSortMatchesSingleTask(t *testing.T) {
 	}
 }
 
+// TestColumnarSortMatchesBoxed pins the typed sort core against both
+// ablation arms over every kernel type (int, float, string, bool, with
+// nulls): the selection-vector sort must reproduce the boxed-row sorts bit
+// for bit, including how stable sorts break ties of equal keys.
+func TestColumnarSortMatchesBoxed(t *testing.T) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "i", Type: storage.TypeInt, Nullable: true},
+		storage.Field{Name: "f", Type: storage.TypeFloat, Nullable: true},
+		storage.Field{Name: "s", Type: storage.TypeString},
+		storage.Field{Name: "b", Type: storage.TypeBool},
+		storage.Field{Name: "id", Type: storage.TypeInt},
+	)
+	rows := make([]storage.Row, 3000)
+	for i := range rows {
+		var iv storage.Value
+		if i%13 != 0 {
+			iv = int64(i % 5)
+		}
+		var fv storage.Value
+		if i%7 != 0 {
+			fv = float64((i*2654435761)%9) / 4
+		}
+		rows[i] = storage.Row{iv, fv, "s" + string(rune('a'+i%3)), i%2 == 0, int64(i)}
+	}
+	plan := FromRows("typed", schema, rows, 8).Sort(
+		SortOrder{Column: "i"},
+		SortOrder{Column: "f", Descending: true},
+		SortOrder{Column: "s"},
+		SortOrder{Column: "b", Descending: true},
+	)
+	typed := collect(t, testEngineWith(t), plan)
+	boxed := collect(t, testEngineWith(t, WithColumnarSort(false)), plan)
+	rowMode := collect(t, testEngineWith(t, WithVectorizedExecution(false)), plan)
+	if !equalStrings(rowStrings(typed.Rows), rowStrings(boxed.Rows)) {
+		t.Fatal("typed columnar sort differs from the boxed-row sort")
+	}
+	if !equalStrings(rowStrings(typed.Rows), rowStrings(rowMode.Rows)) {
+		t.Fatal("typed columnar sort differs from the row-at-a-time sort")
+	}
+}
+
+// TestColumnarSortStability drives a duplicate-only key through a single
+// partition: a stable sort must keep the unique id column in input order
+// within each key group.
+func TestColumnarSortStability(t *testing.T) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "k", Type: storage.TypeInt},
+		storage.Field{Name: "id", Type: storage.TypeInt},
+	)
+	rows := make([]storage.Row, 500)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i % 3), int64(i)}
+	}
+	res := collect(t, testEngineWith(t), FromRows("stable", schema, rows, 1).Sort(SortOrder{Column: "k"}))
+	lastID := map[int64]int64{}
+	for _, r := range res.Rows {
+		k, id := r[0].(int64), r[1].(int64)
+		if prev, ok := lastID[k]; ok && id < prev {
+			t.Fatalf("stability violated: key %d saw id %d after %d", k, id, prev)
+		}
+		lastID[k] = id
+	}
+}
+
 func TestRangeSortSmallInputFallsBack(t *testing.T) {
 	e := testEngineWith(t)
 	res := collect(t, e, wideDataset(t, 100, 4).Sort(SortOrder{Column: "v"}))
@@ -377,6 +441,22 @@ func TestExplainWideStrategies(t *testing.T) {
 	}
 	if got := testEngineWith(t, WithRangeSort(false)).Explain(bigSort); !strings.Contains(got, "[single-task]") {
 		t.Errorf("range-sort-off Explain must name the single-task strategy:\n%s", got)
+	}
+
+	// The second sort tag names the sort core: typed columnar by default, an
+	// external merge with its statically-bounded run count under a budget,
+	// and the boxed/row arms under their ablation switches.
+	if !strings.Contains(plan, "[columnar in-memory]") {
+		t.Errorf("default Explain must name the columnar sort core:\n%s", plan)
+	}
+	if got := testEngineWith(t, WithMemoryBudget(1)).Explain(bigSort); !strings.Contains(got, "[external merge (runs≤1)]") {
+		t.Errorf("budgeted Explain must bound the external merge's runs (2000 rows = 1 chunk):\n%s", got)
+	}
+	if got := testEngineWith(t, WithColumnarSort(false)).Explain(bigSort); !strings.Contains(got, "[boxed-row sort]") {
+		t.Errorf("columnar-sort-off Explain must name the boxed arm:\n%s", got)
+	}
+	if got := testEngineWith(t, WithVectorizedExecution(false)).Explain(bigSort); !strings.Contains(got, "[row sort]") {
+		t.Errorf("row-mode Explain must name the row sort core:\n%s", got)
 	}
 
 	join := wideDataset(t, 100, 4).Join(small, "k", "k", InnerJoin)

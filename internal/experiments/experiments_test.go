@@ -160,6 +160,14 @@ func TestFigure2EngineScalability(t *testing.T) {
 	if spillArm.SpilledBatches == 0 || spillArm.SpilledBytes == 0 {
 		t.Errorf("spill ablation arm must report spilled batches and bytes: %+v", spillArm)
 	}
+	// The ordered-reporting tail: resident points sort columnar in-memory
+	// (no runs), the budgeted point runs the sort as an external merge.
+	if single.SortRuns != 0 || parallel.SortRuns != 0 {
+		t.Errorf("resident sweep points must not sort through runs: %+v", fig.Points[:2])
+	}
+	if spillArm.SortRuns == 0 {
+		t.Errorf("spill ablation arm must sort through external runs: %+v", spillArm)
+	}
 	if !strings.Contains(fig.String(), "Figure 2") {
 		t.Error("rendering must carry the figure title")
 	}
