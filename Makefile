@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-artifact bench-compare fmt vet examples ci
+.PHONY: build test race bench bench-artifact bench-compare fmt vet lint examples ci
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Uses staticcheck when it is on PATH (CI installs
+# it); otherwise falls back to go vet so the target stays runnable on machines
+# without the tool.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not found; falling back to go vet ./..."; \
+		$(GO) vet ./...; \
+	fi
+
 # Compiles every example main so API drift in the public surface is caught
 # even before their smoke tests run.
 examples:
 	$(GO) build ./examples/...
 
-ci: fmt vet build examples race
+ci: fmt vet lint build examples race

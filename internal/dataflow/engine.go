@@ -73,6 +73,13 @@ type Engine struct {
 	// batches back into boxed rows and sorts with the interface-based row
 	// comparators (the pre-typed-sort behaviour, kept for ablation).
 	columnarSort bool
+	// columnarAgg enables the columnar group-by core under vectorized
+	// execution: a storage.GroupTable maps keys to dense group ids and
+	// aggregations accumulate into typed vectors indexed by group id, with
+	// the non-combined path's group state spill-aware under a memory budget.
+	// Disabled, group-by falls back to the boxed per-group aggState maps (the
+	// pre-columnar behaviour, kept for ablation).
+	columnarAgg bool
 	// strictValidate re-enables per-row schema validation of every Map and
 	// FlatMap output on the row-at-a-time paths. Off (the default), only the
 	// first output row of each partition is validated eagerly; the vectorized
@@ -259,6 +266,21 @@ func WithColumnarSort(enabled bool) EngineOption {
 	return func(e *Engine) { e.columnarSort = enabled }
 }
 
+// WithColumnarAgg toggles the columnar group-by core (default on). Enabled
+// (and with vectorized execution on), GroupBy maps keys to dense group ids
+// through a storage.GroupTable and accumulates every aggregation in typed
+// vectors indexed by group id — one tight typed pass per aggregation instead
+// of per-row interface dispatch over boxed state. Under a memory budget the
+// non-combined path's group state is itself spill-aware: overflowing state is
+// flushed as partial rows, hash-partitioned through the batch codec, and
+// re-aggregated runs-then-merge style. Disabled, GroupBy uses the boxed
+// per-group aggState maps — the "boxed" arm of BenchmarkGroupByVectorized.
+// Row-at-a-time execution (WithVectorizedExecution(false)) ignores this
+// switch.
+func WithColumnarAgg(enabled bool) EngineOption {
+	return func(e *Engine) { e.columnarAgg = enabled }
+}
+
 // WithStrictValidation re-enables schema validation of every Map/FlatMap
 // output row on the row-at-a-time paths (default off). With it off, only the
 // first output row of each partition is validated, which catches the common
@@ -298,6 +320,7 @@ func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 		mapSideDistinct:    true,
 		vectorize:          true,
 		columnarSort:       true,
+		columnarAgg:        true,
 	}
 	if e.shufflePartitions < 1 {
 		e.shufflePartitions = 1
@@ -345,6 +368,19 @@ type Stats struct {
 	// partition's run store reached while sorting externally — the measured
 	// side of the runs × chunk memory bound.
 	SortPeakResidentBytes int64
+	// AggGroups is the number of distinct groups group-by aggregations
+	// emitted (summed across buckets and group-by operators).
+	AggGroups int64
+	// AggSpilledPartitions is the number of spill sub-partitions the
+	// budget-bounded hash aggregation flushed overflowing group state into
+	// and merged back. Zero when group state fit in memory.
+	AggSpilledPartitions int64
+	// AggPeakResidentBytes is the largest resident group-state footprint
+	// (hash table plus accumulator vectors) any single aggregation task
+	// reached — the measured side of the spilling hash-agg's memory bound.
+	// Tracked by the columnar aggregation core only; boxed ablation arms
+	// report zero.
+	AggPeakResidentBytes int64
 	// DistinctPrecombinedRows is the number of duplicate rows the map-side
 	// dedup pass removed before distinct shuffles.
 	DistinctPrecombinedRows int64
@@ -427,6 +463,23 @@ func (s *execState) noteSortPeak(bytes int64) {
 	}
 	s.mu.Unlock()
 }
+func (s *execState) addAggGroups(n int) {
+	s.mu.Lock()
+	s.stats.AggGroups += int64(n)
+	s.mu.Unlock()
+}
+func (s *execState) addAggSpilledParts(n int) {
+	s.mu.Lock()
+	s.stats.AggSpilledPartitions += int64(n)
+	s.mu.Unlock()
+}
+func (s *execState) noteAggPeak(bytes int64) {
+	s.mu.Lock()
+	if bytes > s.stats.AggPeakResidentBytes {
+		s.stats.AggPeakResidentBytes = bytes
+	}
+	s.mu.Unlock()
+}
 func (s *execState) addPrecombined(n int) {
 	s.mu.Lock()
 	s.stats.DistinctPrecombinedRows += int64(n)
@@ -485,6 +538,8 @@ func (e *Engine) execute(ctx context.Context, d *Dataset) ([]part, *execState, e
 	e.reg.Counter("sort.sampled").Add(st.stats.SortSampledRows)
 	e.reg.Counter("sort.runs").Add(st.stats.SortRuns)
 	e.reg.Counter("sort.merged.batches").Add(st.stats.SortMergedBatches)
+	e.reg.Counter("agg.groups").Add(st.stats.AggGroups)
+	e.reg.Counter("agg.spilled.partitions").Add(st.stats.AggSpilledPartitions)
 	e.reg.Counter("distinct.precombined").Add(st.stats.DistinctPrecombinedRows)
 	e.reg.Counter("batches").Add(st.stats.Batches)
 	e.reg.Counter("batches.rows").Add(st.stats.BatchRows)
@@ -1072,14 +1127,25 @@ func (e *Engine) gatherBatches(in []*storage.ColumnBatch, schema *storage.Schema
 			}
 			assign[bi] = a
 		}
-		// Pass 2: gather rows into pre-sized bucket batches by batch index.
+		// Pass 2: gather rows into pre-sized bucket batches by batch index,
+		// one typed AppendGather per (batch, bucket) — the per-column type
+		// dispatch runs per selection vector, not per cell.
 		buckets := make([]*storage.ColumnBatch, nParts)
 		for p := range buckets {
 			buckets[p] = storage.NewColumnBatch(schema, counts[p])
 		}
+		sels := make([][]int32, nParts)
 		for bi, b := range in {
+			for p := range sels {
+				sels[p] = sels[p][:0]
+			}
 			for i, p := range assign[bi] {
-				buckets[p].AppendRowFrom(b, i)
+				sels[p] = append(sels[p], int32(i))
+			}
+			for p := range buckets {
+				if len(sels[p]) > 0 {
+					buckets[p].AppendGather(b, sels[p])
+				}
 			}
 		}
 		for p, b := range buckets {
@@ -1688,7 +1754,13 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 	if e.vectorize {
 		if batches, ok := batchesOf(parts); ok {
 			if e.combine {
+				if e.columnarAgg {
+					return e.evalGroupByCombinedColumnar(ctx, n, batches, enc, st)
+				}
 				return e.evalGroupByCombinedBatch(ctx, n, batches, enc, st)
+			}
+			if e.columnarAgg {
+				return e.evalGroupByHash(ctx, n, batches, enc, st)
 			}
 			return e.evalGroupByBatch(ctx, n, batches, enc, st)
 		}
@@ -1730,6 +1802,7 @@ func (e *Engine) evalGroupBy(ctx context.Context, n *groupByNode, st *execState)
 				s.update(r)
 			}
 		}
+		st.addAggGroups(len(order))
 		out := make([]storage.Row, 0, len(order))
 		for _, g := range order {
 			row := make(storage.Row, 0, len(g.keyValues)+len(g.states))
@@ -1851,6 +1924,7 @@ func (e *Engine) mergeGroupPartials(ctx context.Context, partials [][]*partialGr
 						m.states[j].merge(g.states[j])
 					}
 				}
+				st.addAggGroups(len(order))
 				rows := make([]storage.Row, 0, len(order))
 				for _, g := range order {
 					row := make(storage.Row, 0, len(g.keyValues)+len(g.states))

@@ -171,6 +171,7 @@ func equivalenceEngines(t *testing.T) map[string]*Engine {
 		"unfused":     build(WithFusion(false), WithVectorizedExecution(false)),
 		"unfused-vec": build(WithFusion(false)),
 		"boxed-sort":  build(WithColumnarSort(false)),
+		"boxed-agg":   build(WithColumnarAgg(false)),
 		"spill":       build(WithMemoryBudget(1)),
 	}
 }
@@ -201,7 +202,7 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 				results[mode] = res
 			}
 			base := results["row"]
-			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "spill"} {
+			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "boxed-agg", "spill"} {
 				got := results[mode]
 				if !got.Schema.Equal(base.Schema) {
 					t.Fatalf("%s schema %s != row schema %s", mode, got.Schema, base.Schema)
@@ -325,5 +326,116 @@ func TestSortEquivalenceHeavyDuplicates(t *testing.T) {
 	}
 	if externalRuns == 0 {
 		t.Error("the one-byte-budget arm never sorted through external runs across the suite")
+	}
+}
+
+// TestGroupByEquivalenceForcedSpill is the aggregation-focused arm of the
+// suite: high-cardinality group-bys with every aggregation kind, run
+// non-combined so rows cross the shuffle raw and the reduce side owns all
+// group state. The row baseline is compared against the columnar hash
+// aggregation, the boxed ablation arm, and a one-byte-budget run that forces
+// the hash aggregation to flush its group state through the spill
+// sub-partitions every batch — all must stay bit-identical, which also pins
+// the spill path's first-seen emission order. Float inputs are multiples of
+// 1/8 so re-grouped partial sums stay exact.
+func TestGroupByEquivalenceForcedSpill(t *testing.T) {
+	ctx := context.Background()
+	var spilledParts int64
+	for seed := int64(200); seed < 210; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := storage.MustSchema(
+				storage.Field{Name: "k", Type: storage.TypeInt},
+				storage.Field{Name: "v", Type: storage.TypeFloat, Nullable: true},
+				storage.Field{Name: "s", Type: storage.TypeString, Nullable: true},
+			)
+			keys := 1000 + rng.Intn(2000) // high cardinality: most groups are tiny
+			n := 4000 + rng.Intn(4000)
+			rows := make([]storage.Row, n)
+			for i := range rows {
+				var v storage.Value
+				if rng.Intn(10) > 0 {
+					v = float64(rng.Intn(2000)-1000) / 8
+				}
+				var s storage.Value
+				if rng.Intn(12) > 0 {
+					s = fmt.Sprintf("s%03d", rng.Intn(200))
+				}
+				rows[i] = storage.Row{int64(rng.Intn(keys)), v, s}
+			}
+			// Enough source partitions that every shuffle bucket receives its
+			// rows across several batches: the spilling aggregation flushes at
+			// batch granularity, so its resident peak is one epoch's groups,
+			// not the bucket's.
+			plan := FromRows("aggequiv", schema, rows, 6+rng.Intn(3)).
+				GroupBy("k").
+				Agg(Count(), Sum("v"), Avg("v"), Min("v"), Max("v"),
+					Min("s"), Max("s"), StdDev("v"), CountDistinct("s"))
+
+			build := func(opts ...EngineOption) *Engine {
+				c, err := cluster.New(cluster.Uniform(2, 2, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := NewEngine(c, append([]EngineOption{WithMapSideCombine(false)}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			engines := map[string]*Engine{
+				"row":       build(WithVectorizedExecution(false)),
+				"columnar":  build(),
+				"boxed-agg": build(WithColumnarAgg(false)),
+				"spill":     build(WithMemoryBudget(1)),
+			}
+			base, err := engines["row"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []string{"columnar", "boxed-agg", "spill"} {
+				got, err := engines[mode].Collect(ctx, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if len(got.Rows) != len(base.Rows) {
+					t.Fatalf("%s rows = %d, row arm = %d", mode, len(got.Rows), len(base.Rows))
+				}
+				for i := range got.Rows {
+					if !reflect.DeepEqual(got.Rows[i], base.Rows[i]) {
+						t.Fatalf("%s row %d = %#v, want %#v", mode, i, got.Rows[i], base.Rows[i])
+					}
+				}
+				if got.Stats.AggGroups != base.Stats.AggGroups {
+					t.Errorf("%s AggGroups = %d, row = %d", mode, got.Stats.AggGroups, base.Stats.AggGroups)
+				}
+			}
+			spill, err := engines["spill"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spill.Stats.AggSpilledPartitions == 0 {
+				t.Error("one-byte budget never spilled aggregation state")
+			}
+			spilledParts += spill.Stats.AggSpilledPartitions
+			// The sub-partitioned merge must hold strictly less state resident
+			// than the whole bucket's groups would need: the in-memory columnar
+			// run's peak bounds it from above with a wide margin.
+			inMem, err := engines["columnar"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spill.Stats.AggPeakResidentBytes <= 0 {
+				t.Error("spill run reported no aggregation peak")
+			}
+			if 2*spill.Stats.AggPeakResidentBytes > inMem.Stats.AggPeakResidentBytes {
+				t.Errorf("spill peak %dB not bounded by half the in-memory peak %dB",
+					spill.Stats.AggPeakResidentBytes, inMem.Stats.AggPeakResidentBytes)
+			}
+		})
+	}
+	if spilledParts == 0 {
+		t.Error("forced-spill arm never merged a spill sub-partition across the suite")
 	}
 }

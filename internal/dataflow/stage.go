@@ -227,10 +227,11 @@ func (e *Engine) Explain(d *Dataset) string {
 		return fmt.Sprintf("<invalid plan: %v>", err)
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, columnarSort=%s, shufflePartitions=%d, memoryBudget=%s)\n",
+	fmt.Fprintf(&sb, "PhysicalPlan(fusion=%s, combine=%s, rangeSort=%s, broadcastJoin=%s(≤%d), mapSideDistinct=%s, vectorized=%s, columnarSort=%s, columnarAgg=%s, shufflePartitions=%d, memoryBudget=%s)\n",
 		onOff(e.fuse), onOff(e.combine), onOff(e.rangeSort),
 		onOff(e.broadcastJoin), e.broadcastThreshold, onOff(e.mapSideDistinct),
-		onOff(e.vectorize), onOff(e.columnarSort), e.shufflePartitions, e.budgetLabel())
+		onOff(e.vectorize), onOff(e.columnarSort), onOff(e.columnarAgg),
+		e.shufflePartitions, e.budgetLabel())
 	fmt.Fprintf(&sb, "  execution mode: %s\n", e.executionMode())
 	fmt.Fprintf(&sb, "  spill: %s\n", e.spillMode())
 	e.explainNode(&sb, d.node, 1)
@@ -272,6 +273,22 @@ func (e *Engine) sortCoreLabel(bound int, bounded bool) string {
 		return fmt.Sprintf("[external merge (runs≤%d)]", runs)
 	default:
 		return "[external merge (chunked runs)]"
+	}
+}
+
+// aggCoreLabel names the aggregation-core strategy group-by nodes run with:
+// the columnar hash aggregation (spill-aware when a budget forces the
+// non-combined path's group state to re-partition) or the boxed per-group
+// state ablation arm. The combined path's group state is bounded by the
+// map-side partials, so only the non-combined path gets the spilling tag.
+func (e *Engine) aggCoreLabel() string {
+	switch {
+	case !e.vectorize || !e.columnarAgg:
+		return "[boxed agg]"
+	case e.memoryBudget > 0 && !e.combine:
+		return fmt.Sprintf("[spilling hash-agg (parts≤%d)]", aggSpillPartitions)
+	default:
+		return "[columnar hash-agg]"
 	}
 }
 
@@ -380,6 +397,7 @@ func (e *Engine) explainNode(sb *strings.Builder, node planNode, depth int) {
 		} else {
 			label += " [shuffle]"
 		}
+		label += " " + e.aggCoreLabel()
 	case *distinctNode:
 		if e.mapSideDistinct {
 			label += " [map-dedup+shuffle]"

@@ -651,12 +651,12 @@ func (e *Engine) distinctMergeFromStore(ctx context.Context, name string, schema
 // Group-by (batch map side)
 // ---------------------------------------------------------------------------
 
-// evalGroupByCombinedBatch is the columnar map side of the combined group-by:
-// partial aggregation states are built straight from the column vectors
-// (keys via BatchKey, aggregation updates via aggState.updateAt), then the
-// shared shuffle+merge tail runs exactly as in the row path — partial groups
-// are tiny compared to their inputs, so only the per-input-row work is worth
-// vectorizing.
+// evalGroupByCombinedBatch is the boxed-accumulator map side of the combined
+// group-by, kept as the WithColumnarAgg(false) ablation arm: partial
+// aggregation states are built straight from the column vectors (keys via
+// BatchKey, aggregation updates via aggState.updateAt), then the shared
+// shuffle+merge tail runs exactly as in the row path. The default combined
+// map side is evalGroupByCombinedColumnar in agg_columnar.go.
 func (e *Engine) evalGroupByCombinedBatch(ctx context.Context, n *groupByNode,
 	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
 
@@ -710,12 +710,14 @@ func (e *Engine) evalGroupByCombinedBatch(ctx context.Context, n *groupByNode,
 	return e.mergeGroupPartials(ctx, partials, inputRows, st)
 }
 
-// evalGroupByBatch is the non-combined columnar group-by: every row crosses
-// the shuffle boundary through a partition store (spilling under budget) and
-// one task per bucket folds the restored batches into per-key aggregation
-// states, keying straight from the column vectors. It mirrors the row
-// baseline exactly — same bucket assignment, row order and group emission
-// order — so results are bit-identical to the row-at-a-time path.
+// evalGroupByBatch is the boxed-accumulator non-combined group-by, kept as
+// the WithColumnarAgg(false) ablation arm: every row crosses the shuffle
+// boundary through a partition store (spilling under budget) and one task per
+// bucket folds the restored batches into per-key aggregation states, keying
+// straight from the column vectors. It mirrors the row baseline exactly —
+// same bucket assignment, row order and group emission order — so results
+// are bit-identical to the row-at-a-time path. The default non-combined path
+// is evalGroupByHash in agg_columnar.go.
 func (e *Engine) evalGroupByBatch(ctx context.Context, n *groupByNode,
 	in []*storage.ColumnBatch, enc *storage.KeyEncoder, st *execState) ([]part, error) {
 
@@ -770,6 +772,7 @@ func (e *Engine) evalGroupByBatch(ctx context.Context, n *groupByNode,
 				if err != nil {
 					return err
 				}
+				st.addAggGroups(len(order))
 				rows := make([]storage.Row, 0, len(order))
 				for _, g := range order {
 					row := make(storage.Row, 0, len(g.keyValues)+len(g.states))

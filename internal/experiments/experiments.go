@@ -12,6 +12,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -333,6 +334,20 @@ type Figure2Point struct {
 	// default unlimited budget) and non-zero on the spill-ablation point,
 	// where the sort runs as an external merge.
 	SortRuns int64
+	// AggGroups counts the distinct group-by groups the aggregation emitted,
+	// and AggSpilledPartitions the hash-aggregation sub-partitions spilled
+	// and re-merged under the memory budget (zero on resident points).
+	// AggPeakResidentBytes is the high-water estimate of resident aggregation
+	// state, the quantity the spilling hash aggregation budgets against.
+	AggGroups            int64
+	AggSpilledPartitions int64
+	AggPeakResidentBytes int64
+	// Allocs and AllocBytes are the heap-allocation deltas across the run
+	// (runtime.ReadMemStats before/after), recording the allocation
+	// trajectory of the columnar operators next to the wall times. They ride
+	// along in bench-compare's delta table but never gate.
+	Allocs     int64
+	AllocBytes int64
 }
 
 // Figure2 is the engine-scalability experiment.
@@ -350,54 +365,55 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 	if len(rowSweep) == 0 {
 		rowSweep = []int{20000, 80000}
 	}
+	point := func(workers, rows int, run pipelineRun) Figure2Point {
+		return Figure2Point{
+			Workers:              workers,
+			Rows:                 rows,
+			WallTime:             run.wall,
+			ThroughputRPS:        float64(rows) / run.wall.Seconds(),
+			ShuffledRows:         run.stats.ShuffledRows,
+			BroadcastJoins:       run.stats.BroadcastJoins,
+			Batches:              run.stats.Batches,
+			SpilledBatches:       run.stats.SpilledBatches,
+			SpilledBytes:         run.stats.SpilledBytes,
+			SortRuns:             run.stats.SortRuns,
+			AggGroups:            run.stats.AggGroups,
+			AggSpilledPartitions: run.stats.AggSpilledPartitions,
+			AggPeakResidentBytes: run.stats.AggPeakResidentBytes,
+			Allocs:               run.allocs,
+			AllocBytes:           run.allocBytes,
+		}
+	}
 	out := &Figure2{}
 	for _, rows := range rowSweep {
 		baseline := map[int]float64{} // rows -> wall seconds at 1 worker
 		for _, workers := range workerSweep {
-			wall, stats, err := runScalabilityPipeline(ctx, e.Seed, rows, workers)
+			run, err := runScalabilityPipeline(ctx, e.Seed, rows, workers)
 			if err != nil {
 				return nil, err
 			}
-			point := Figure2Point{
-				Workers:        workers,
-				Rows:           rows,
-				WallTime:       wall,
-				ThroughputRPS:  float64(rows) / wall.Seconds(),
-				ShuffledRows:   stats.ShuffledRows,
-				BroadcastJoins: stats.BroadcastJoins,
-				Batches:        stats.Batches,
-				SpilledBatches: stats.SpilledBatches,
-				SpilledBytes:   stats.SpilledBytes,
-				SortRuns:       stats.SortRuns,
-			}
+			p := point(workers, rows, run)
 			if workers == workerSweep[0] {
-				baseline[rows] = wall.Seconds()
+				baseline[rows] = run.wall.Seconds()
 			}
-			if base, ok := baseline[rows]; ok && wall.Seconds() > 0 {
-				point.SpeedupVs1 = base / wall.Seconds()
+			if base, ok := baseline[rows]; ok && run.wall.Seconds() > 0 {
+				p.SpeedupVs1 = base / run.wall.Seconds()
 			}
-			out.Points = append(out.Points, point)
+			out.Points = append(out.Points, p)
 		}
 	}
 	rows := rowSweep[len(rowSweep)-1]
 	workers := workerSweep[len(workerSweep)-1]
-	wall, stats, err := runScalabilityPipeline(ctx, e.Seed, rows, workers,
-		dataflow.WithMemoryBudget(1), dataflow.WithBroadcastJoin(false))
+	// The ablation also disables map-side combining so the group-by runs as
+	// the budgeted shuffle-side hash aggregation — the arm that exercises the
+	// spill-partition lifecycle and reports AggSpilledPartitions.
+	run, err := runScalabilityPipeline(ctx, e.Seed, rows, workers,
+		dataflow.WithMemoryBudget(1), dataflow.WithBroadcastJoin(false),
+		dataflow.WithMapSideCombine(false))
 	if err != nil {
 		return nil, err
 	}
-	out.Points = append(out.Points, Figure2Point{
-		Workers:        workers,
-		Rows:           rows,
-		WallTime:       wall,
-		ThroughputRPS:  float64(rows) / wall.Seconds(),
-		ShuffledRows:   stats.ShuffledRows,
-		BroadcastJoins: stats.BroadcastJoins,
-		Batches:        stats.Batches,
-		SpilledBatches: stats.SpilledBatches,
-		SpilledBytes:   stats.SpilledBytes,
-		SortRuns:       stats.SortRuns,
-	})
+	out.Points = append(out.Points, point(workers, rows, run))
 	return out, nil
 }
 
@@ -410,7 +426,7 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 // ablation passes a memory budget and disables the broadcast join so the
 // shuffle actually accumulates batches).
 func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int,
-	opts ...dataflow.EngineOption) (time.Duration, dataflow.Stats, error) {
+	opts ...dataflow.EngineOption) (pipelineRun, error) {
 	schema := storage.MustSchema(
 		storage.Field{Name: "id", Type: storage.TypeInt},
 		storage.Field{Name: "key", Type: storage.TypeInt},
@@ -432,12 +448,12 @@ func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int,
 	cfg.Seed = seed
 	cl, err := cluster.New(cfg)
 	if err != nil {
-		return 0, dataflow.Stats{}, err
+		return pipelineRun{}, err
 	}
 	engine, err := dataflow.NewEngine(cl, append([]dataflow.EngineOption{
 		dataflow.WithShufflePartitions(workers)}, opts...)...)
 	if err != nil {
-		return 0, dataflow.Stats{}, err
+		return pipelineRun{}, err
 	}
 	facts := dataflow.FromRows("facts", schema, data, workers*2)
 	dims := dataflow.FromRows("dims", dimSchema, dim, 2)
@@ -462,12 +478,32 @@ func runScalabilityPipeline(ctx context.Context, seed int64, rows, workers int,
 		// chose — in-memory selection sort resident, external merge when the
 		// spill-ablation point forces the one-byte budget.
 		Sort(dataflow.SortOrder{Column: "sum_score", Descending: true}, dataflow.SortOrder{Column: "segment"})
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := engine.Collect(ctx, plan)
 	if err != nil {
-		return 0, dataflow.Stats{}, err
+		return pipelineRun{}, err
 	}
-	return time.Since(start), res.Stats, nil
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return pipelineRun{
+		wall:       wall,
+		stats:      res.Stats,
+		allocs:     int64(after.Mallocs - before.Mallocs),
+		allocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+	}, nil
+}
+
+// pipelineRun carries one scalability measurement: wall time, engine stats,
+// and the process-wide heap-allocation deltas across the run. The alloc
+// counters are approximate (anything else the process allocates during the
+// run is included) but the pipeline dominates by orders of magnitude.
+type pipelineRun struct {
+	wall       time.Duration
+	stats      dataflow.Stats
+	allocs     int64
+	allocBytes int64
 }
 
 // String renders the figure data.
@@ -485,10 +521,13 @@ func (f *Figure2) String() string {
 			fmt.Sprintf("%d", p.Batches),
 			fmt.Sprintf("%d", p.SpilledBatches),
 			fmt.Sprintf("%d", p.SortRuns),
+			fmt.Sprintf("%d", p.AggGroups),
+			fmt.Sprintf("%d", p.AggSpilledPartitions),
+			fmt.Sprintf("%d", p.Allocs),
 		})
 	}
 	return "Figure 2 — dataflow engine scalability (filter → join → group-by → sort pipeline)\n" +
-		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches", "spilled", "sort runs"}, rows)
+		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches", "spilled", "sort runs", "agg groups", "agg spills", "allocs"}, rows)
 }
 
 // ---------------------------------------------------------------------------

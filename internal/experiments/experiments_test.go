@@ -168,6 +168,27 @@ func TestFigure2EngineScalability(t *testing.T) {
 	if spillArm.SortRuns == 0 {
 		t.Errorf("spill ablation arm must sort through external runs: %+v", spillArm)
 	}
+	// The group-by: every point aggregates the same 8 segments, the resident
+	// points keep all aggregation state in memory, and the budgeted arm (with
+	// map-side combining off) pushes the hash aggregation through its
+	// spill-partition lifecycle.
+	for i, p := range fig.Points {
+		if p.AggGroups != 8 {
+			t.Errorf("point %d: AggGroups = %d, want 8 segments", i, p.AggGroups)
+		}
+		if p.AggPeakResidentBytes <= 0 {
+			t.Errorf("point %d: AggPeakResidentBytes = %d, want > 0", i, p.AggPeakResidentBytes)
+		}
+		if p.Allocs <= 0 || p.AllocBytes <= 0 {
+			t.Errorf("point %d: alloc deltas = %d allocs / %d B, want > 0", i, p.Allocs, p.AllocBytes)
+		}
+	}
+	if single.AggSpilledPartitions != 0 || parallel.AggSpilledPartitions != 0 {
+		t.Errorf("resident sweep points must not spill aggregation state: %+v", fig.Points[:2])
+	}
+	if spillArm.AggSpilledPartitions == 0 {
+		t.Errorf("spill ablation arm must spill aggregation partitions: %+v", spillArm)
+	}
 	if !strings.Contains(fig.String(), "Figure 2") {
 		t.Error("rendering must carry the figure title")
 	}

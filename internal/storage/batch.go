@@ -166,6 +166,38 @@ func (c *Column) appendFrom(src *Column, i, n int) {
 	}
 }
 
+// appendGather appends the selected rows of src (a column of the same type)
+// in selection order, with the type dispatch hoisted out of the row loop;
+// dstStart is the destination row index of sel's first row. Columns without
+// nulls take a tight typed copy loop; columns with nulls fall back to the
+// per-cell copy, which maintains the destination bitmap.
+func (c *Column) appendGather(src *Column, sel []int32, dstStart int) {
+	if len(src.nulls) == 0 {
+		switch c.typ {
+		case TypeInt, TypeTime:
+			for _, i := range sel {
+				c.ints = append(c.ints, src.ints[i])
+			}
+		case TypeFloat:
+			for _, i := range sel {
+				c.floats = append(c.floats, src.floats[i])
+			}
+		case TypeString:
+			for _, i := range sel {
+				c.strs = append(c.strs, src.strs[i])
+			}
+		case TypeBool:
+			for _, i := range sel {
+				c.bools = append(c.bools, src.bools[i])
+			}
+		}
+		return
+	}
+	for j, i := range sel {
+		c.appendFrom(src, int(i), dstStart+j)
+	}
+}
+
 // grow pre-sizes the column's value vector for capacity rows.
 func (c *Column) grow(capacity int) {
 	switch c.typ {
@@ -250,6 +282,17 @@ func (b *ColumnBatch) AppendRowFrom(src *ColumnBatch, i int) {
 		b.cols[c].appendFrom(&src.cols[c], i, b.n)
 	}
 	b.n++
+}
+
+// AppendGather appends the selected rows of src, a batch with an identical
+// column layout, in selection order. It is AppendRowFrom amortised over a
+// selection vector: the per-column type dispatch runs once per (column,
+// selection) instead of once per cell — the shuffle gather's hot path.
+func (b *ColumnBatch) AppendGather(src *ColumnBatch, sel []int32) {
+	for c := range b.cols {
+		b.cols[c].appendGather(&src.cols[c], sel, b.n)
+	}
+	b.n += len(sel)
 }
 
 // AppendJoined appends the concatenation of row li of left and row ri of
@@ -446,14 +489,7 @@ func (b *ColumnBatch) Rows() []Row {
 // with typed copies (no boxing). It materialises a selection vector.
 func (b *ColumnBatch) Gather(sel []int32) *ColumnBatch {
 	out := NewColumnBatch(b.schema, len(sel))
-	for c := range b.cols {
-		src := &b.cols[c]
-		dst := &out.cols[c]
-		for n, i := range sel {
-			dst.appendFrom(src, int(i), n)
-		}
-	}
-	out.n = len(sel)
+	out.AppendGather(b, sel)
 	return out
 }
 
@@ -500,3 +536,42 @@ func NewColumnBuilder(t FieldType, capacity int) Column {
 // AppendValue appends a boxed value to the column under field f's contract;
 // row n must be the column's current length.
 func (c *Column) AppendValue(f Field, v Value, n int) error { return c.append(f, v, n) }
+
+// Typed appends for kernels that build a column without boxing. Like
+// appendFrom they trust the caller to match the column's type; mismatches are
+// the builder's bug, not a data error, so there is no per-call validation.
+
+// AppendInt appends v to an int/time column.
+func (c *Column) AppendInt(v int64) { c.ints = append(c.ints, v) }
+
+// AppendFloat appends v to a float column.
+func (c *Column) AppendFloat(v float64) { c.floats = append(c.floats, v) }
+
+// AppendStr appends v to a string column.
+func (c *Column) AppendStr(v string) { c.strs = append(c.strs, v) }
+
+// AppendBool appends v to a bool column.
+func (c *Column) AppendBool(v bool) { c.bools = append(c.bools, v) }
+
+// AppendNull appends a null cell; n must be the column's current length.
+func (c *Column) AppendNull(n int) { c.appendNull(n) }
+
+// BatchOfColumns assembles a batch over schema from externally built columns
+// of n rows each. Column storage is adopted, not copied — the caller must not
+// mutate the columns afterwards. Per-column types are verified against the
+// schema; row counts are the caller's contract (columns built with the typed
+// Append helpers or shared from another batch of n rows satisfy it).
+func BatchOfColumns(schema *Schema, n int, cols []Column) (*ColumnBatch, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("%w: batch needs a schema", ErrEmptySchema)
+	}
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("storage: batch has %d columns, schema %s has %d", len(cols), schema, schema.Len())
+	}
+	for i := range cols {
+		if want := schema.Field(i).Type; cols[i].typ != want {
+			return nil, fmt.Errorf("%w: column %d is %s, schema expects %s", ErrTypeMismatch, i, cols[i].typ, want)
+		}
+	}
+	return &ColumnBatch{schema: schema, cols: cols, n: n}, nil
+}
