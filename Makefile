@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-artifact bench-compare fmt vet lint examples ci
+.PHONY: build test race bench bench-artifact bench-compare fmt vet lint examples soak serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,18 @@ lint:
 		echo "staticcheck not found; falling back to go vet ./..."; \
 		$(GO) vet ./...; \
 	fi
+
+# Fault-injection soak of the multi-tenant service runtime under the race
+# detector: concurrent tenants, injected cluster faults, a tight memory
+# budget, and the invariant that every submission ends in exactly one of
+# completed/rejected/shed/failed with no goroutine or spill-file leak.
+soak:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestSoakFaultInjection' ./internal/service/
+
+# Boots toreadorctl serve on an ephemeral port and drives a campaign through
+# the HTTP surface (submit, stats, graceful shutdown).
+serve-smoke:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestServeSmoke' ./cmd/toreadorctl/
 
 # Compiles every example main so API drift in the public surface is caught
 # even before their smoke tests run.

@@ -954,3 +954,29 @@ func BenchmarkComplianceEvaluation(b *testing.B) {
 	b.ReportMetric(float64(len(alternatives)), "alternatives")
 	b.ReportMetric(float64(decisions), "feasible_decisions")
 }
+
+// BenchmarkFigure5ServiceLoad drives the multi-tenant service runtime under
+// concurrent submission pressure with injected cluster faults (Figure 5).
+func BenchmarkFigure5ServiceLoad(b *testing.B) {
+	env := benchEnv(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last *experiments.Figure5
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure5(ctx, env, []int{1, 4}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	for _, p := range last.Points {
+		if !p.Accounted {
+			b.Fatalf("%d tenants: submissions lost: %+v", p.Tenants, p)
+		}
+	}
+	high := last.Points[len(last.Points)-1]
+	b.ReportMetric(high.GoodputRPS, "goodput_rps_4t")
+	b.ReportMetric(high.P99MS, "p99_ms_4t")
+	b.ReportMetric(float64(high.Rejected+high.Shed), "pushback_4t")
+}

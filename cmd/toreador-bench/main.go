@@ -51,7 +51,7 @@ func run(args []string, out io.Writer) error {
 		days      = fs.Int("days", 7, "scenario sizing: days of readings")
 		users     = fs.Int("users", 150, "scenario sizing: clickstream users")
 		attempts  = fs.Int("attempts", 5, "attempts per simulated trainee (figure 4)")
-		only      = fs.String("only", "", "run a single experiment: table1|table2|table3|table4|figure1|figure2|figure3|figure4")
+		only      = fs.String("only", "", "run a single experiment: table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5")
 		asJSON    = fs.Bool("json", false, "emit results as a single JSON object keyed by experiment name")
 		commit    = fs.String("commit", "", "commit id recorded in the JSON artifact's _meta block")
 		compare   = fs.String("compare", "", "directory of BENCH_*.json artifacts: diff the two newest and print a per-benchmark delta table")
@@ -88,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		{"figure3", func() (renderable, error) { return experiments.RunFigure3(env, nil) }},
 		{"table4", func() (renderable, error) { return experiments.RunTable4(ctx, env) }},
 		{"figure4", func() (renderable, error) { return experiments.RunFigure4(ctx, env, *attempts) }},
+		{"figure5", func() (renderable, error) { return experiments.RunFigure5(ctx, env, nil, 0) }},
 	}
 	results := map[string]renderable{}
 	ran := 0

@@ -10,6 +10,13 @@
 //	toreadorctl -scenario telco -campaign campaign.json alternatives
 //	toreadorctl -scenario telco -campaign campaign.json interference
 //	toreadorctl -scenario telco -campaign campaign.json plan -strategy greedy
+//	toreadorctl -scenario telco serve -listen 127.0.0.1:8321
+//
+// serve starts the long-running multi-tenant analytics service over HTTP:
+// POST /submit?tenant=<name> accepts a campaign JSON body, compiles it and
+// executes it under the service's admission control, SLA scheduling,
+// deadlines and retry policy; GET /stats reports the service counters and
+// latency histograms; POST /shutdown drains and exits.
 //
 // The -scenario flag registers one or more synthetic vertical scenarios
 // (comma separated) so the campaign's data sources resolve; -repository
@@ -45,19 +52,26 @@ func run(args []string, out io.Writer) error {
 		repository = fs.String("repository", "", "optional model-repository directory for persistence")
 		strategy   = fs.String("strategy", "exhaustive", "planning strategy for the plan command (exhaustive|greedy|random)")
 		memBudget  = fs.Int64("memory-budget", 0, "bytes of columnar batch data the engine keeps resident per wide operator; excess spills to disk (0 = unlimited)")
+		failRate   = fs.Float64("failure-rate", 0, "injected transient task-failure probability on the simulated cluster (serve: exercised by the retry policy)")
+		listen     = fs.String("listen", "127.0.0.1:8321", "serve: listen address (host:0 picks a free port)")
+		queueDepth = fs.Int("queue", 16, "serve: submission queue depth before admission control rejects or sheds")
+		workers    = fs.Int("workers", 2, "serve: concurrent campaign executions")
+		maxRetries = fs.Int("max-retries", 2, "serve: retry budget per campaign for transient failures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("missing command: one of compile, run, explain, alternatives, interference, plan")
+		return fmt.Errorf("missing command: one of compile, run, explain, alternatives, interference, plan, serve")
 	}
 	command := fs.Arg(0)
-	if *campaign == "" {
+	if *campaign == "" && command != "serve" {
 		return fmt.Errorf("-campaign is required")
 	}
 
-	platform, err := toreador.New(toreador.Config{Seed: *seed, RepositoryDir: *repository, MemoryBudget: *memBudget})
+	platform, err := toreador.New(toreador.Config{
+		Seed: *seed, RepositoryDir: *repository, MemoryBudget: *memBudget, FailureRate: *failRate,
+	})
 	if err != nil {
 		return err
 	}
@@ -72,6 +86,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	ctx := context.Background()
+	if command == "serve" {
+		return doServe(out, platform, serveOptions{
+			listen:     *listen,
+			queueDepth: *queueDepth,
+			workers:    *workers,
+			maxRetries: *maxRetries,
+		})
+	}
+
 	f, err := os.Open(*campaign)
 	if err != nil {
 		return fmt.Errorf("open campaign: %w", err)
@@ -82,7 +106,6 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	ctx := context.Background()
 	switch command {
 	case "compile":
 		return doCompile(out, platform, c)

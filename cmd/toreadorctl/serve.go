@@ -1,0 +1,216 @@
+// serve.go implements the toreadorctl serve command: the operator-facing HTTP
+// surface of the multi-tenant analytics service runtime. It exposes campaign
+// submission under admission control, the service's metrics snapshot, and a
+// graceful drain endpoint; SIGINT/SIGTERM also drain before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	toreador "repro"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+type serveOptions struct {
+	listen     string
+	queueDepth int
+	workers    int
+	maxRetries int
+}
+
+// drainTimeout bounds how long a shutdown waits for in-flight campaigns
+// before shedding the remaining queue.
+const drainTimeout = 30 * time.Second
+
+// submitResponse is the JSON body of a /submit reply.
+type submitResponse struct {
+	Status   string             `json:"status"`
+	Attempts int                `json:"attempts,omitempty"`
+	WallMS   float64            `json:"wall_ms,omitempty"`
+	Measured map[string]float64 `json:"measured,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+func doServe(out io.Writer, platform *toreador.Platform, opts serveOptions) error {
+	svc, err := platform.NewService(toreador.ServiceConfig{
+		QueueDepth: opts.queueDepth,
+		Workers:    opts.workers,
+		MaxRetries: opts.maxRetries,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+
+	shutdownCh := make(chan struct{})
+	var shutdownOnce sync.Once
+	requestShutdown := func() { shutdownOnce.Do(func() { close(shutdownCh) }) }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, statsText(svc.Stats()))
+	})
+	mux.HandleFunc("/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		fmt.Fprintln(w, "draining")
+		requestShutdown()
+	})
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		tenant := r.URL.Query().Get("tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		c, err := model.DecodeCampaign(r.Body)
+		if err != nil {
+			writeSubmitError(w, http.StatusBadRequest, err)
+			return
+		}
+		result, err := platform.Compile(c)
+		if err != nil {
+			writeSubmitError(w, http.StatusBadRequest, err)
+			return
+		}
+		ticket, err := svc.Submit(tenant, c, result.Chosen)
+		if err != nil {
+			writeSubmitError(w, admissionStatusCode(err), err)
+			return
+		}
+		if err := ticket.Wait(r.Context()); err != nil {
+			// The client gave up; the campaign keeps running server-side.
+			writeSubmitError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		report, runErr := ticket.Result()
+		resp := submitResponse{Status: ticket.Status().String(), Attempts: ticket.Attempts()}
+		code := http.StatusOK
+		switch {
+		case runErr != nil:
+			resp.Error = runErr.Error()
+			code = http.StatusBadGateway
+			if ticket.Status() == toreador.StatusShed {
+				code = http.StatusServiceUnavailable
+			}
+		case report != nil:
+			resp.WallMS = float64(report.WallTime.Microseconds()) / 1000
+			resp.Measured = map[string]float64{}
+			for k, v := range report.Measured {
+				resp.Measured[string(k)] = v
+			}
+		}
+		writeJSON(w, code, resp)
+	})
+
+	srv := &http.Server{Handler: mux}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	fmt.Fprintf(out, "toreadorctl: serving on http://%s (queue=%d workers=%d retries=%d)\n",
+		ln.Addr(), opts.queueDepth, opts.workers, opts.maxRetries)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCh:
+		fmt.Fprintln(out, "toreadorctl: signal received, draining")
+	case <-shutdownCh:
+		fmt.Fprintln(out, "toreadorctl: shutdown requested, draining")
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := svc.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	fmt.Fprintln(out, "toreadorctl: final service stats")
+	fmt.Fprint(out, statsText(svc.Stats()))
+	return drainErr
+}
+
+// statsText renders the service metrics snapshot for the operator: counters
+// and gauges one per line, histograms with their tail percentiles.
+func statsText(snap metrics.Snapshot) string {
+	var b strings.Builder
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, snap.Gauges[n])
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		fmt.Fprintf(&b, "%s count=%d p50=%.2f p95=%.2f p99=%.2f min=%.2f max=%.2f\n",
+			n, h.Count, h.P50, h.P95, h.P99, h.Min, h.Max)
+	}
+	return b.String()
+}
+
+// admissionStatusCode maps the service's typed admission errors to HTTP codes:
+// back-pressure (overload, rate limit) is 429, degradation (shed, draining)
+// is 503.
+func admissionStatusCode(err error) int {
+	switch {
+	case errors.Is(err, toreador.ErrOverloaded), errors.Is(err, toreador.ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, toreador.ErrShed), errors.Is(err, toreador.ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeSubmitError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, submitResponse{Status: "rejected", Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

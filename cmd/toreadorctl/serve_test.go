@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a concurrency-safe writer: the serve command writes to it
+// from its own goroutine while the test polls for the listen address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServe runs the serve command on an ephemeral port and returns its base
+// URL plus a channel with the command's exit error.
+func startServe(t *testing.T, extraArgs ...string) (string, *syncBuffer, chan error) {
+	t.Helper()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{
+		"-scenario", "telco", "-customers", "300", "-listen", "127.0.0.1:0",
+	}, extraArgs...)
+	args = append(args, "serve")
+	go func() { done <- run(args, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "serving on http://"); i >= 0 {
+			rest := s[i+len("serving on http://"):]
+			if j := strings.IndexAny(rest, " \n"); j > 0 {
+				return "http://" + rest[:j], out, done
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before listening: %v\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	t.Fatalf("serve never reported its address:\n%s", out.String())
+	return "", nil, nil
+}
+
+func TestServeSmoke(t *testing.T) {
+	base, out, done := startServe(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	// A full campaign round trip through the service runtime.
+	campaign, err := os.ReadFile(writeCampaignFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/submit?tenant=acme", "application/json", bytes.NewReader(campaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/submit = %d: %s", resp.StatusCode, body)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("submit response not JSON: %v: %s", err, body)
+	}
+	if sr.Status != "completed" || sr.Attempts < 1 || sr.Measured["accuracy"] <= 0 {
+		t.Errorf("submit response = %+v", sr)
+	}
+
+	// Malformed submissions are rejected, not fatal.
+	resp, err = http.Post(base+"/submit", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad submit = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /submit = %d, want 405", resp.StatusCode)
+	}
+
+	// The stats surface reflects the completed submission.
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"service.submitted", "service.completed", "service.latency.ms"} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("/stats missing %s:\n%s", want, stats)
+		}
+	}
+
+	// Graceful drain: /shutdown ends the command cleanly and the final stats
+	// land on the CLI output.
+	resp, err = http.Post(base+"/shutdown", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("serve did not drain after /shutdown:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "final service stats") {
+		t.Errorf("missing final stats:\n%s", out.String())
+	}
+}

@@ -63,6 +63,51 @@ type Config struct {
 	MaxAttempts int
 	// Seed drives failure injection; fixed seeds give reproducible runs.
 	Seed int64
+	// RetryBackoff delays retry attempts of transiently-failed tasks. The zero
+	// value keeps the historical behaviour: retries fire immediately.
+	RetryBackoff Backoff
+}
+
+// Backoff configures per-attempt capped exponential backoff with optional
+// jitter for task retries. The zero value disables all delays.
+type Backoff struct {
+	// Base is the delay before the first retry; every further retry doubles
+	// it. <= 0 disables backoff entirely.
+	Base time.Duration
+	// Max caps the exponential growth. <= 0 leaves the growth uncapped.
+	Max time.Duration
+	// Jitter in [0,1] spreads each delay uniformly over
+	// [delay×(1-Jitter), delay×(1+Jitter)]. Jitter randomness is drawn from
+	// the worker slot's seeded RNG, so delays are deterministic for a fixed
+	// Config.Seed and slot layout.
+	Jitter float64
+}
+
+// delay returns the pause before retry number retry (1-based).
+func (b Backoff) delay(retry int, rng *workerRNG) time.Duration {
+	if b.Base <= 0 || retry < 1 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [1-j, 1+j]; the RNG draw keeps determinism per slot.
+		d = time.Duration(float64(d) * (1 - j + 2*j*rng.float64()))
+	}
+	return d
 }
 
 // Uniform returns a homogeneous cluster configuration with the given number of
@@ -319,11 +364,22 @@ func (c *Cluster) runTask(ctx context.Context, sl slot, task Task) Result {
 		}
 		res.Err = err
 		c.reg.Counter("tasks.failed_attempts").Inc()
-		if !IsInjectedFailure(err) {
-			// Real task errors are not retried: they are deterministic.
+		if !Transient(err) {
+			// Permanent task errors are deterministic and cancellations are
+			// final: neither is retried.
 			break
 		}
 		c.reg.Counter("tasks.retries").Inc()
+		if attempt < c.cfg.MaxAttempts {
+			if d := c.cfg.RetryBackoff.delay(attempt, sl.rng); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					// Keep the transient root cause: the loop's next ctx check
+					// records the cancellation if the job was torn down.
+				}
+			}
+		}
 	}
 	res.Duration = time.Since(start)
 	c.recordUsage(node.ID, res.Duration)

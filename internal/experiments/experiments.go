@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/runner"
+	"repro/internal/service"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -857,4 +859,185 @@ func (f *Figure4) String() string {
 	}
 	return fmt.Sprintf("Figure 4 — best Labs score after k attempts on %s (trial-and-error convergence)\n", f.Challenge) +
 		renderTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — multi-tenant service under load
+// ---------------------------------------------------------------------------
+
+// Figure5Point is one tenant-count measurement of the analytics service under
+// concurrent submission pressure with injected cluster faults.
+type Figure5Point struct {
+	Tenants   int
+	Submitted int
+	Completed int
+	Rejected  int
+	Shed      int
+	Failed    int
+	Retries   int64
+	// Accounted is the service's core robustness invariant: every submission
+	// ended in exactly one of the four terminal outcomes above.
+	Accounted  bool
+	WallTime   time.Duration
+	GoodputRPS float64 // completed campaigns per second of wall time
+	P50MS      float64 // end-to-end latency of executed campaigns
+	P99MS      float64
+}
+
+// Figure5 sweeps tenant counts against a fixed-capacity service.
+type Figure5 struct {
+	PerTenant  int
+	QueueDepth int
+	Workers    int
+	Points     []Figure5Point
+}
+
+// figure5FailureRate is the injected transient-fault probability per cluster
+// task attempt during the service-load sweep.
+const figure5FailureRate = 0.05
+
+// RunFigure5 drives the multi-tenant service runtime: each tenant submits a
+// mix of the lab's challenge campaigns concurrently against a service with a
+// deliberately small queue and worker pool, while the cluster injects
+// transient faults. The point of the figure is the degradation shape — as
+// tenants multiply on fixed capacity, admission control sheds and rejects
+// excess load while goodput and tail latency stay bounded, and no submission
+// is ever lost.
+func RunFigure5(ctx context.Context, e *Env, tenantSweep []int, perTenant int) (*Figure5, error) {
+	if len(tenantSweep) == 0 {
+		tenantSweep = []int{1, 2, 4, 6}
+	}
+	if perTenant <= 0 {
+		perTenant = 6
+	}
+
+	// The workload mix: every lab challenge the compiler can satisfy, from
+	// the tight-SLA classification campaigns to unconstrained forecasts.
+	type shape struct {
+		campaign *model.Campaign
+		alt      core.Alternative
+	}
+	var shapes []shape
+	for _, ch := range e.lab.Challenges() {
+		result, err := e.lab.Compiler().Compile(ch.Campaign)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure5 compile %s: %w", ch.ID, err)
+		}
+		shapes = append(shapes, shape{ch.Campaign, result.Chosen})
+	}
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("experiments: figure5: lab offers no challenges")
+	}
+
+	out := &Figure5{PerTenant: perTenant, QueueDepth: 4, Workers: 2}
+	for _, tenants := range tenantSweep {
+		run, err := runner.New(e.lab.Data(),
+			runner.WithSeed(e.Seed),
+			runner.WithFailureInjection(figure5FailureRate))
+		if err != nil {
+			return nil, err
+		}
+		svc, err := service.New(run, service.Config{
+			QueueDepth:   out.QueueDepth,
+			Workers:      out.Workers,
+			MaxRetries:   2,
+			RetryBackoff: cluster.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Jitter: 0.5},
+			Seed:         e.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		type outcome struct {
+			ticket *service.Ticket
+			err    error
+		}
+		perTenantOutcomes := make([][]outcome, tenants)
+		var wg sync.WaitGroup
+		for ti := 0; ti < tenants; ti++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				tenant := fmt.Sprintf("tenant-%d", ti)
+				for m := 0; m < perTenant; m++ {
+					sh := shapes[(ti+m)%len(shapes)]
+					tk, err := svc.Submit(tenant, sh.campaign, sh.alt)
+					perTenantOutcomes[ti] = append(perTenantOutcomes[ti], outcome{tk, err})
+					// A short stagger keeps pressure sustained rather than a
+					// single burst, so the queue sees arrivals throughout.
+					time.Sleep(time.Millisecond)
+				}
+			}(ti)
+		}
+		wg.Wait()
+		if err := svc.Shutdown(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: figure5 drain (%d tenants): %w", tenants, err)
+		}
+		wall := time.Since(start)
+
+		pt := Figure5Point{Tenants: tenants, WallTime: wall}
+		accounted := true
+		for _, tenantOutcomes := range perTenantOutcomes {
+			for _, o := range tenantOutcomes {
+				pt.Submitted++
+				switch {
+				case o.err != nil:
+					pt.Rejected++
+				case o.ticket == nil:
+					accounted = false
+				default:
+					switch o.ticket.Status() {
+					case service.StatusCompleted:
+						pt.Completed++
+					case service.StatusShed:
+						pt.Shed++
+					case service.StatusFailed:
+						pt.Failed++
+					default:
+						accounted = false
+					}
+				}
+			}
+		}
+		pt.Accounted = accounted &&
+			pt.Submitted == pt.Completed+pt.Rejected+pt.Shed+pt.Failed &&
+			pt.Submitted == tenants*perTenant
+
+		snap := svc.Stats()
+		pt.Retries = snap.CounterValue("service.retries")
+		if lat, ok := snap.Histograms["service.latency.ms"]; ok {
+			pt.P50MS = lat.P50
+			pt.P99MS = lat.P99
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			pt.GoodputRPS = float64(pt.Completed) / secs
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// String renders the service-load sweep.
+func (f *Figure5) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Tenants),
+			fmt.Sprintf("%d", p.Submitted),
+			fmt.Sprintf("%d", p.Completed),
+			fmt.Sprintf("%d", p.Rejected),
+			fmt.Sprintf("%d", p.Shed),
+			fmt.Sprintf("%d", p.Failed),
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%v", p.Accounted),
+			fmt.Sprintf("%.1f", p.GoodputRPS),
+			fmt.Sprintf("%.1f", p.P50MS),
+			fmt.Sprintf("%.1f", p.P99MS),
+			p.WallTime.Round(time.Millisecond).String(),
+		})
+	}
+	return fmt.Sprintf("Figure 5 — service runtime under multi-tenant load (queue=%d workers=%d, %d campaigns/tenant, %.0f%% injected faults)\n",
+		f.QueueDepth, f.Workers, f.PerTenant, figure5FailureRate*100) +
+		renderTable([]string{"tenants", "submitted", "completed", "rejected", "shed", "failed", "retries", "accounted", "goodput/s", "p50 ms", "p99 ms", "wall"}, rows)
 }

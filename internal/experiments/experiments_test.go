@@ -307,3 +307,34 @@ func TestFigure4TrialAndError(t *testing.T) {
 		t.Error("rendering must carry the figure title")
 	}
 }
+
+func TestFigure5ServiceLoad(t *testing.T) {
+	e := smallEnv(t)
+	fig, err := RunFigure5(context.Background(), e, []int{1, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		if !p.Accounted {
+			t.Errorf("%d tenants: submissions lost: %+v", p.Tenants, p)
+		}
+		if p.Completed == 0 {
+			t.Errorf("%d tenants: nothing completed", p.Tenants)
+		}
+		if p.Completed > 0 && p.P99MS <= 0 {
+			t.Errorf("%d tenants: no p99 latency despite completions", p.Tenants)
+		}
+	}
+	// With 4 tenants hammering a queue of 4 and 2 workers, admission control
+	// must visibly push back: some submissions are rejected or shed.
+	high := fig.Points[1]
+	if high.Rejected+high.Shed == 0 {
+		t.Errorf("4 tenants: expected overload pushback, got %+v", high)
+	}
+	if !strings.Contains(fig.String(), "Figure 5") {
+		t.Errorf("rendering missing title:\n%s", fig.String())
+	}
+}

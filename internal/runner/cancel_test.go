@@ -1,0 +1,120 @@
+package runner
+
+// cancel_test.go covers runner behaviour under deadlines: a budgeted campaign
+// cut off by a context deadline mid-run must surface a canceled-class error
+// and release every spill temp file the dataflow engine opened.
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func tempSpillFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "toreador-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestCancelBudgetedCampaignReleasesSpill(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	// A forecasting campaign over a meter corpus large enough that the
+	// analytics-stage sort must stage its batches through spill stores under a
+	// 1-byte budget.
+	data := storage.NewCatalog()
+	gen := workload.NewGenerator(17)
+	sc, err := gen.Generate(workload.VerticalEnergy, workload.Sizing{Meters: 40, Days: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Register(data); err != nil {
+		t.Fatal(err)
+	}
+	compiler, err := core.NewCompiler(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(data, WithMemoryBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := &model.Campaign{
+		Name:     "load-forecast",
+		Vertical: "energy",
+		Goal: model.Goal{
+			Task:        model.TaskForecasting,
+			TargetTable: "meter_readings",
+			ValueColumn: "kwh",
+			TimeColumn:  "read_at",
+		},
+		Sources: []model.DataSource{{Table: "meter_readings", ContainsPersonalData: true, Region: "eu"}},
+		Regime:  model.RegimePseudonymize,
+	}
+	result, err := compiler.Compile(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncancelled budgeted run: proves this campaign exercises the spill path
+	// and calibrates a deadline that lands mid-run.
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	report, err := r.Run(context.Background(), campaign, result.Chosen)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+	wall := time.Since(start)
+	if report.EngineStats.SpilledBatches == 0 {
+		t.Fatal("budgeted campaign must spill for the cancellation test to bite")
+	}
+	if left := tempSpillFiles(t, tmp); len(left) != 0 {
+		t.Fatalf("completed budgeted campaign left spill files: %v", left)
+	}
+
+	// Re-run with a deadline that expires mid-run. If the machine outruns even
+	// the short deadline the run may legitimately complete; the lifecycle
+	// invariants below must hold either way.
+	deadline := wall / 4
+	if deadline < time.Millisecond {
+		deadline = time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	_, err = r.Run(ctx, campaign, result.Chosen)
+	if err == nil {
+		t.Logf("run beat the %v deadline; lifecycle checks still apply", deadline)
+	} else if !cluster.Canceled(err) {
+		t.Errorf("deadline-cut run classified %s, want canceled: %v", cluster.Classify(err), err)
+	}
+
+	settle := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(settle) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines did not settle after cancelled campaign: %d > %d", n, base)
+	}
+	if left := tempSpillFiles(t, tmp); len(left) != 0 {
+		t.Errorf("cancelled budgeted campaign leaked spill files: %v", left)
+	}
+}

@@ -150,6 +150,15 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	usage := cl.Usage()
 	rows := len(prepared.Rows)
 
+	// The report's engine stats describe the preparation collect, except the
+	// spill counters, which fold in every Collect the run issued (analytics
+	// stages re-enter the engine): a budgeted campaign's spill activity is a
+	// whole-run fact, not a preparation-stage one.
+	engineStats := prepared.Stats
+	snap := engine.Metrics().Snapshot()
+	engineStats.SpilledBatches = snap.CounterValue("spill.batches")
+	engineStats.SpilledBytes = snap.CounterValue("spill.bytes")
+
 	measured := sla.Measurement{
 		model.IndicatorAccuracy: accuracy,
 		model.IndicatorLatency:  float64(wall.Milliseconds()),
@@ -178,7 +187,7 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 		Compliant:     alt.Compliant(),
 		Details:       details,
 		RowsProcessed: rows,
-		EngineStats:   prepared.Stats,
+		EngineStats:   engineStats,
 		ClusterUsage:  usage,
 		WallTime:      wall,
 	}, nil

@@ -1,0 +1,88 @@
+package service
+
+// queue.go is the SLA-aware submission queue: a heap ordering tickets by how
+// tight their latency objective is (tight deadlines run first), breaking ties
+// with sla.Compare over the alternatives' static estimates, then FIFO. The
+// same ordering, reversed, selects the shedding victim when the queue is full
+// and a more urgent submission arrives.
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sla"
+)
+
+// latencyTargetMs extracts the campaign's tightest at-most latency objective
+// in milliseconds; campaigns without one sort last (+Inf).
+func latencyTargetMs(c *model.Campaign) float64 {
+	target := math.Inf(1)
+	for _, o := range c.Objectives {
+		if o.Indicator == model.IndicatorLatency && o.Comparison == model.AtMost && o.Target < target {
+			target = o.Target
+		}
+	}
+	return target
+}
+
+// moreUrgent reports whether a should run before b.
+func moreUrgent(a, b *Ticket) bool {
+	if a.latencyTarget != b.latencyTarget {
+		return a.latencyTarget < b.latencyTarget
+	}
+	if c := sla.Compare(a.estimate, b.estimate); c != 0 {
+		// Higher estimated SLA standing runs first: that work is the most
+		// likely to meet its objectives if scheduled promptly.
+		return c > 0
+	}
+	return a.seq < b.seq
+}
+
+// ticketQueue implements heap.Interface; the root is the most urgent ticket.
+type ticketQueue []*Ticket
+
+func (q ticketQueue) Len() int           { return len(q) }
+func (q ticketQueue) Less(i, j int) bool { return moreUrgent(q[i], q[j]) }
+func (q ticketQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].pos = i; q[j].pos = j }
+func (q *ticketQueue) Push(x any)        { t := x.(*Ticket); t.pos = len(*q); *q = append(*q, t) }
+func (q *ticketQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.pos = -1
+	*q = old[:n-1]
+	return t
+}
+
+// push enqueues a ticket.
+func (q *ticketQueue) push(t *Ticket) { heap.Push(q, t) }
+
+// popUrgent removes and returns the most urgent ticket, or nil when empty.
+func (q *ticketQueue) popUrgent() *Ticket {
+	if len(*q) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Ticket)
+}
+
+// leastUrgent returns the queued ticket that would be shed first — the one
+// every other ticket beats under moreUrgent. The heap only guarantees the
+// root; finding the worst is a linear scan over the (bounded) queue.
+func (q ticketQueue) leastUrgent() *Ticket {
+	var worst *Ticket
+	for _, t := range q {
+		if worst == nil || moreUrgent(worst, t) {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// remove drops the ticket at heap position pos.
+func (q *ticketQueue) remove(t *Ticket) {
+	if t.pos >= 0 && t.pos < len(*q) && (*q)[t.pos] == t {
+		heap.Remove(q, t.pos)
+	}
+}

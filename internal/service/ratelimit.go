@@ -1,0 +1,90 @@
+package service
+
+// ratelimit.go implements the per-tenant token bucket that guards admission:
+// each tenant owns a bucket with a configured burst capacity refilled at a
+// steady rate, so one chatty tenant cannot monopolise the submission queue.
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantConfig sets a tenant's admission budget. The zero value disables rate
+// limiting for the tenant (every submission passes the bucket).
+type TenantConfig struct {
+	// Burst is the bucket capacity: the number of submissions a tenant may
+	// make back-to-back before the refill rate governs. <= 0 disables
+	// limiting for the tenant.
+	Burst int
+	// RefillPerSec is the steady-state admission rate in tokens per second.
+	// With Burst > 0 and RefillPerSec <= 0 the bucket never refills: the
+	// tenant gets Burst submissions total.
+	RefillPerSec float64
+}
+
+// limited reports whether the config actually constrains admission.
+func (tc TenantConfig) limited() bool { return tc.Burst > 0 }
+
+// bucket is one tenant's token bucket. Callers hold the service mutex, so the
+// bucket itself is unsynchronised; the standalone limiter wraps it with its
+// own lock for direct use.
+type bucket struct {
+	cfg    TenantConfig
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(cfg TenantConfig, now time.Time) *bucket {
+	return &bucket{cfg: cfg, tokens: float64(cfg.Burst), last: now}
+}
+
+// allow consumes one token if available, refilling for the elapsed time first.
+func (b *bucket) allow(now time.Time) bool {
+	if !b.cfg.limited() {
+		return true
+	}
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.cfg.RefillPerSec
+		if max := float64(b.cfg.Burst); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Limiter is a standalone concurrency-safe multi-tenant token-bucket limiter.
+// The service embeds the same buckets under its own lock; the exported type
+// exists so other entry points (CLIs, tests) can reuse the policy.
+type Limiter struct {
+	mu       sync.Mutex
+	def      TenantConfig
+	perTen   map[string]TenantConfig
+	buckets  map[string]*bucket
+	lastSeen time.Time
+}
+
+// NewLimiter builds a limiter with a default config and per-tenant overrides.
+func NewLimiter(def TenantConfig, perTenant map[string]TenantConfig) *Limiter {
+	return &Limiter{def: def, perTen: perTenant, buckets: map[string]*bucket{}}
+}
+
+// Allow consumes one token for the tenant at the given instant.
+func (l *Limiter) Allow(tenant string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		cfg, ok := l.perTen[tenant]
+		if !ok {
+			cfg = l.def
+		}
+		b = newBucket(cfg, now)
+		l.buckets[tenant] = b
+	}
+	return b.allow(now)
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/repo"
 	"repro/internal/runner"
+	"repro/internal/service"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -92,6 +93,39 @@ type (
 	LabSession = labs.Session
 	// TraineeStrategy models a simulated trainee.
 	TraineeStrategy = labs.TraineeStrategy
+)
+
+// Re-exported service-runtime types: the long-running multi-tenant analytics
+// service that wraps the pipeline runner with admission control, SLA-aware
+// scheduling, deadlines, retries and graceful degradation.
+type (
+	// Service is the multi-tenant analytics service runtime.
+	Service = service.Service
+	// ServiceConfig sizes the service's queue, worker pool and retry policy.
+	ServiceConfig = service.Config
+	// TenantConfig is a tenant's token-bucket admission budget.
+	TenantConfig = service.TenantConfig
+	// Ticket tracks one admitted campaign submission to completion.
+	Ticket = service.Ticket
+	// TicketStatus is a submission's lifecycle state.
+	TicketStatus = service.Status
+)
+
+// Re-exported service admission errors.
+var (
+	ErrOverloaded  = service.ErrOverloaded
+	ErrRateLimited = service.ErrRateLimited
+	ErrShed        = service.ErrShed
+	ErrDraining    = service.ErrDraining
+)
+
+// Re-exported ticket statuses.
+const (
+	StatusQueued    = service.StatusQueued
+	StatusRunning   = service.StatusRunning
+	StatusCompleted = service.StatusCompleted
+	StatusShed      = service.StatusShed
+	StatusFailed    = service.StatusFailed
 )
 
 // Re-exported analytics task constants.
@@ -325,6 +359,14 @@ func (p *Platform) Runs(campaign string) ([]RunRecord, error) {
 		return nil, errors.New("toreador: platform has no repository configured")
 	}
 	return p.repo.ListRuns(campaign)
+}
+
+// NewService starts the long-running multi-tenant service runtime on top of
+// the platform's runner: submissions are admission-controlled per tenant,
+// scheduled by SLA urgency, executed under per-campaign deadlines with
+// transient-fault retries, and drained gracefully on Shutdown.
+func (p *Platform) NewService(cfg ServiceConfig) (*Service, error) {
+	return service.New(p.runner, cfg)
 }
 
 // OpenLab builds a TOREADOR Labs instance with freshly generated scenario

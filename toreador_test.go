@@ -150,3 +150,33 @@ func TestRegisterTableDirectly(t *testing.T) {
 		t.Error("re-registering the same table name must fail")
 	}
 }
+
+func TestPlatformServiceFacade(t *testing.T) {
+	p := newTelcoPlatform(t, Config{Seed: 5})
+	svc, err := p.NewService(ServiceConfig{QueueDepth: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := churnCampaign()
+	result, err := p.Compile(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := svc.Submit("acme", campaign, result.Chosen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ticket.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ticket.Status() != StatusCompleted {
+		report, rerr := ticket.Result()
+		t.Fatalf("status = %s (report=%v err=%v)", ticket.Status(), report, rerr)
+	}
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().CounterValue("service.completed"); got != 1 {
+		t.Errorf("service.completed = %d, want 1", got)
+	}
+}
