@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-artifact bench-compare fmt vet lint examples soak serve-smoke ci
+.PHONY: build test race bench bench-artifact bench-compare fmt vet lint fuzz examples soak serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ lint:
 		echo "staticcheck not found; falling back to go vet ./..."; \
 		$(GO) vet ./...; \
 	fi
+
+# Short coverage-guided fuzz of the spill-frame decoder (both codec versions):
+# DecodeBatch must reject arbitrary corruption with ErrBadBatchEncoding and
+# never panic or over-allocate. The time box keeps the target usable as a
+# pre-commit check; raise FUZZTIME for a longer soak.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBatch' -fuzztime $(FUZZTIME) ./internal/storage/
 
 # Fault-injection soak of the multi-tenant service runtime under the race
 # detector: concurrent tenants, injected cluster faults, a tight memory

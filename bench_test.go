@@ -732,6 +732,7 @@ func BenchmarkSpillShuffle(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(last.SpilledBatches), "spilled_batches/op")
 			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.SpillLogicalBytes), "spill_logical_bytes/op")
 			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
 		})
 	}
@@ -771,6 +772,133 @@ func BenchmarkSpillGroupBy(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(last.SpilledBatches), "spilled_batches/op")
 			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.SpillLogicalBytes), "spill_logical_bytes/op")
+			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Spill-compression benchmarks (DESIGN.md §2.11): identical forced-spill
+// plans with the compressed v2 frame codec (dictionary strings, delta ints,
+// RLE bitmaps) versus the raw v1 layout. The physical/logical byte metrics
+// price what compression buys in disk traffic; the wall-time delta prices
+// what the encoder costs. Both arms must produce bit-identical results — the
+// equivalence suite pins that; these pairs measure it.
+// ---------------------------------------------------------------------------
+
+// spillStringRows builds a string-heavy fact table: low-cardinality region
+// and category columns (the dictionary encoder's best case and the realistic
+// shape of the paper's telco/retail scenarios), a monotonically increasing id
+// (the delta encoder's best case) and a scrambled float payload that stays
+// raw.
+func spillStringRows(n int) (*storage.Schema, []storage.Row) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "id", Type: storage.TypeInt},
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "category", Type: storage.TypeString},
+		storage.Field{Name: "v", Type: storage.TypeFloat},
+	)
+	regions := []string{"emea-central", "emea-west", "amer-north", "amer-south", "apac-east", "apac-west"}
+	categories := []string{"electricity", "gas", "water", "broadband"}
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{
+			int64(1_000_000 + i),
+			regions[(i/7)%len(regions)],
+			categories[i%len(categories)],
+			float64((uint64(i)*2654435761)%1_000_003) / 64,
+		}
+	}
+	return schema, rows
+}
+
+// BenchmarkSpillCompression runs a non-combined string-keyed group-by over
+// 100k string-heavy rows with a one-byte budget, so every shuffle bucket and
+// every flushed aggregation epoch crosses the codec: compressed v2 frames
+// versus raw v1. compression_ratio = logical/physical bytes on the compressed
+// arm (the raw arm reports 1).
+func BenchmarkSpillCompression(b *testing.B) {
+	const rows = 100_000
+	schema, data := spillStringRows(rows)
+	plan := dataflow.FromRows("bench", schema, data, 8).
+		GroupBy("region").
+		Agg(dataflow.Count(), dataflow.Sum("v"), dataflow.Max("category"))
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{{"compressed", true}, {"raw", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b,
+				dataflow.WithMapSideCombine(false),
+				dataflow.WithMemoryBudget(1),
+				dataflow.WithSpillCompression(mode.compress))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("group-by produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			if last.SpilledBatches == 0 {
+				b.Fatal("spill-compression arm never spilled")
+			}
+			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.SpillLogicalBytes), "spill_logical_bytes/op")
+			b.ReportMetric(float64(last.SpillLogicalBytes)/float64(last.SpilledBytes), "compression_ratio")
+		})
+	}
+}
+
+// BenchmarkDistinctDictCodes runs distinct on a low-cardinality string key
+// with map-side dedup off and a one-byte budget, so the merge side streams
+// every restored frame through the seen-key filter: with compression on, the
+// dictionary-code fast path decides repeated codes with one slice index
+// instead of a key encode plus map probe per row; the raw arm pays the full
+// per-row path.
+func BenchmarkDistinctDictCodes(b *testing.B) {
+	const rows = 100_000
+	schema, data := spillStringRows(rows)
+	plan := dataflow.FromRows("bench", schema, data, 8).
+		Project("region", "category").
+		Distinct("region")
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{{"dict-codes", true}, {"raw", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := wideBenchEngine(b,
+				dataflow.WithMapSideDistinct(false),
+				dataflow.WithMemoryBudget(1),
+				dataflow.WithSpillCompression(mode.compress))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last dataflow.Stats
+			for i := 0; i < b.N; i++ {
+				n, stats, err := e.CountStats(ctx, plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("distinct produced no rows")
+				}
+				last = stats
+			}
+			b.StopTimer()
+			if last.SpilledBatches == 0 {
+				b.Fatal("distinct arm never spilled")
+			}
+			b.ReportMetric(float64(last.SpilledBytes), "spilled_bytes/op")
+			b.ReportMetric(float64(last.SpillLogicalBytes), "spill_logical_bytes/op")
 			b.ReportMetric(float64(last.ShuffledRows), "shuffled_rows/op")
 		})
 	}

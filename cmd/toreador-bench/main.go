@@ -289,10 +289,13 @@ func interestingMetric(path string) bool {
 		"ThroughputRPS", "SpeedupVs1", "ShuffledRows", "BroadcastJoins", "Batches",
 		"WallTime", "TotalCompile", "Execution", "CrossoverRows", "EffectiveScore",
 		"Accuracy", "CompliantAlternatives", "SortRuns",
-		// Allocation and aggregation-state metrics ride along in the delta
-		// table for trajectory visibility; only the wall-time metrics above
-		// (see durationMetric) ever gate.
+		// Allocation, aggregation-state and spill-volume metrics ride along
+		// in the delta table for trajectory visibility; only the wall-time
+		// metrics above (see durationMetric) ever gate. The physical/logical
+		// spill-byte pair makes compression-ratio changes visible across
+		// commits without gating on them.
 		"Allocs", "AllocBytes", "AggGroups", "AggSpilledPartitions", "AggPeakResidentBytes",
+		"SpilledBatches", "SpilledBytes", "SpillLogicalBytes",
 	} {
 		if strings.HasSuffix(path, suffix) {
 			return true

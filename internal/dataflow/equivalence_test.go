@@ -172,7 +172,11 @@ func equivalenceEngines(t *testing.T) map[string]*Engine {
 		"unfused-vec": build(WithFusion(false)),
 		"boxed-sort":  build(WithColumnarSort(false)),
 		"boxed-agg":   build(WithColumnarAgg(false)),
-		"spill":       build(WithMemoryBudget(1)),
+		// Two forced-spill arms: raw v1 frames and the compressed v2 codec.
+		// Restored batches must be bit-identical either way, so both must
+		// match the in-memory runs exactly.
+		"spill":            build(WithMemoryBudget(1), WithSpillCompression(false)),
+		"spill-compressed": build(WithMemoryBudget(1)),
 	}
 }
 
@@ -202,7 +206,7 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 				results[mode] = res
 			}
 			base := results["row"]
-			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "boxed-agg", "spill"} {
+			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "boxed-agg", "spill", "spill-compressed"} {
 				got := results[mode]
 				if !got.Schema.Equal(base.Schema) {
 					t.Fatalf("%s schema %s != row schema %s", mode, got.Schema, base.Schema)
@@ -226,13 +230,28 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 			// row run on shuffle traffic: the batch shuffle moves the same
 			// rows, just without boxing them — and routing the buckets through
 			// the spill store must not change what crosses the boundary.
-			for _, mode := range []string{"vectorized", "spill"} {
+			for _, mode := range []string{"vectorized", "spill", "spill-compressed"} {
 				if v, r := results[mode].Stats.ShuffledRows, base.Stats.ShuffledRows; v != r {
 					t.Errorf("%s ShuffledRows = %d, row = %d", mode, v, r)
 				}
 			}
 			if results["spill"].Stats.SpilledBatches > 0 && results["spill"].Stats.SpilledBytes == 0 {
 				t.Error("spilled batches reported without spilled bytes")
+			}
+			// Accounting invariants of the two spill arms: without compression
+			// physical and logical bytes are the same quantity; with it the
+			// logical (v1-equivalent) size bounds the physical from above, and
+			// both arms agree on what was logically spilled per batch shape.
+			if s := results["spill"].Stats; s.SpilledBytes != s.SpillLogicalBytes {
+				t.Errorf("uncompressed spill arm: SpilledBytes %d != SpillLogicalBytes %d",
+					s.SpilledBytes, s.SpillLogicalBytes)
+			}
+			if s := results["spill-compressed"].Stats; s.SpilledBytes > s.SpillLogicalBytes {
+				t.Errorf("compressed spill arm: physical %dB exceeds logical %dB",
+					s.SpilledBytes, s.SpillLogicalBytes)
+			}
+			if s := results["spill-compressed"].Stats; s.SpilledBatches > 0 && s.SpillFilePeakBytes == 0 {
+				t.Error("compressed spill arm reported batches but no file high-water")
 			}
 			totalSpilled += results["spill"].Stats.SpilledBatches
 		})
@@ -241,6 +260,46 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 	// operator must have spilled; across 40 seeds that must have happened.
 	if totalSpilled == 0 {
 		t.Error("spill mode never spilled a batch across the whole suite")
+	}
+}
+
+// TestSampleUnfusedVectorizedEquivalence pins the unfused Sample routing:
+// with the stage compiler off, a Sample-only stage now runs through the
+// vectorized single-operator path instead of dropping the whole plan to boxed
+// rows, and must keep the exact per-partition pseudo-random selection of the
+// row implementation — same rows, same order, batches actually processed.
+func TestSampleUnfusedVectorizedEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(300); seed < 306; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := genSchema(rng)
+			rows := genRows(rng, schema, 200+rng.Intn(400))
+			plan := FromRows("sampleequiv", schema, rows, 1+rng.Intn(5)).
+				Sample(0.25+rng.Float64()/2, seed)
+
+			engines := equivalenceEngines(t)
+			base, err := engines["unfused"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := engines["unfused-vec"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Rows) != len(base.Rows) {
+				t.Fatalf("unfused-vec rows = %d, unfused row arm = %d", len(got.Rows), len(base.Rows))
+			}
+			for i := range got.Rows {
+				if !reflect.DeepEqual(got.Rows[i], base.Rows[i]) {
+					t.Fatalf("unfused-vec row %d = %#v, want %#v", i, got.Rows[i], base.Rows[i])
+				}
+			}
+			if got.Stats.Batches == 0 {
+				t.Error("unfused vectorized Sample processed no batches — fell back to rows?")
+			}
+		})
 	}
 }
 
@@ -297,7 +356,7 @@ func TestSortEquivalenceHeavyDuplicates(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "spill"} {
+			for _, mode := range []string{"vectorized", "unfused", "unfused-vec", "boxed-sort", "spill", "spill-compressed"} {
 				got, err := engines[mode].Collect(ctx, plan)
 				if err != nil {
 					t.Fatalf("%s: %v", mode, err)
@@ -388,13 +447,17 @@ func TestGroupByEquivalenceForcedSpill(t *testing.T) {
 				"row":       build(WithVectorizedExecution(false)),
 				"columnar":  build(),
 				"boxed-agg": build(WithColumnarAgg(false)),
-				"spill":     build(WithMemoryBudget(1)),
+				// Group-state flushes re-spill through the batch codec, so the
+				// forced-spill arm runs both with the compressed v2 frames
+				// (the default) and the raw v1 ablation baseline.
+				"spill":            build(WithMemoryBudget(1), WithSpillCompression(false)),
+				"spill-compressed": build(WithMemoryBudget(1)),
 			}
 			base, err := engines["row"].Collect(ctx, plan)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, mode := range []string{"columnar", "boxed-agg", "spill"} {
+			for _, mode := range []string{"columnar", "boxed-agg", "spill", "spill-compressed"} {
 				got, err := engines[mode].Collect(ctx, plan)
 				if err != nil {
 					t.Fatalf("%s: %v", mode, err)
@@ -419,6 +482,17 @@ func TestGroupByEquivalenceForcedSpill(t *testing.T) {
 				t.Error("one-byte budget never spilled aggregation state")
 			}
 			spilledParts += spill.Stats.AggSpilledPartitions
+			compressed, err := engines["spill-compressed"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if compressed.Stats.AggSpilledPartitions == 0 {
+				t.Error("compressed arm never spilled aggregation state")
+			}
+			if compressed.Stats.SpilledBytes > compressed.Stats.SpillLogicalBytes {
+				t.Errorf("compressed agg spill: physical %dB exceeds logical %dB",
+					compressed.Stats.SpilledBytes, compressed.Stats.SpillLogicalBytes)
+			}
 			// The sub-partitioned merge must hold strictly less state resident
 			// than the whole bucket's groups would need: the in-memory columnar
 			// run's peak bounds it from above with a wide margin.

@@ -295,6 +295,22 @@ func compareStringCells(a *storage.Column, ai int, b *storage.Column, bi int) in
 	if c, done := compareNullCells(a.Null(ai), b.Null(bi)); done {
 		return c
 	}
+	// Dictionary fast path: when both cells come from the same decoded spill
+	// frame, their codes index one strictly sorted dictionary, so code order
+	// is string order — two uint32 compares instead of a byte-wise one. The
+	// external merge hits this whenever it compares rows within one restored
+	// run frame.
+	if storage.DictShared(a, b) {
+		ac, bc := a.Codes()[ai], b.Codes()[bi]
+		switch {
+		case ac < bc:
+			return -1
+		case ac > bc:
+			return 1
+		default:
+			return 0
+		}
+	}
 	as, bs := a.Str(ai), b.Str(bi)
 	switch {
 	case as < bs:
@@ -603,6 +619,27 @@ func (e *Engine) evalDistinctBatchSpill(ctx context.Context, schema *storage.Sch
 	return e.distinctMergeFromStore(ctx, "distinct-merge", schema, store, enc, st)
 }
 
+// dictKeyColumn returns the batch column the encoder's whole key reduces to
+// when that key is a single dictionary-backed string column without nulls —
+// the precondition for dedup by dictionary code — or nil otherwise. A nil
+// column-index list means "every column", so a one-column batch qualifies.
+func dictKeyColumn(enc *storage.KeyEncoder, b *storage.ColumnBatch) *storage.Column {
+	keyCol := -1
+	if idx := enc.Columns(); len(idx) == 1 {
+		keyCol = idx[0]
+	} else if idx == nil && b.Width() == 1 {
+		keyCol = 0
+	}
+	if keyCol < 0 {
+		return nil
+	}
+	col := b.Column(keyCol)
+	if len(col.Dict()) == 0 || col.HasNulls() {
+		return nil
+	}
+	return col
+}
+
 // distinctMergeFromStore runs one task per store partition that streams the
 // partition's batches — restoring spilled chunks transparently — and keeps
 // the first occurrence of every key.
@@ -621,7 +658,36 @@ func (e *Engine) distinctMergeFromStore(ctx context.Context, name string, schema
 				rows := store.PartitionRows(bi)
 				seen := make(map[string]struct{}, rows)
 				res := storage.NewColumnBatch(schema, rows)
+				var codeSeen []bool
 				err := store.EachBatch(bi, func(b *storage.ColumnBatch) error {
+					// Code-based fast path: when the distinct key reduces to a
+					// single dictionary-backed string column without nulls,
+					// each distinct code's fate (kept or dup) is decided once
+					// per restored frame; repeated codes skip the key encode
+					// and map probe entirely. Output is identical — a repeated
+					// code is a repeated string, whose first occurrence in
+					// this frame already went through the global seen map.
+					if col := dictKeyColumn(local, b); col != nil {
+						codes := col.Codes()
+						codeSeen = codeSeen[:0]
+						for range col.Dict() {
+							codeSeen = append(codeSeen, false)
+						}
+						for i := 0; i < b.Len(); i++ {
+							code := codes[i]
+							if codeSeen[code] {
+								continue
+							}
+							codeSeen[code] = true
+							k := local.BatchKey(b, i)
+							if _, dup := seen[string(k)]; dup {
+								continue
+							}
+							seen[string(k)] = struct{}{}
+							res.AppendRowFrom(b, i)
+						}
+						return nil
+					}
 					for i := 0; i < b.Len(); i++ {
 						k := local.BatchKey(b, i)
 						if _, dup := seen[string(k)]; dup {

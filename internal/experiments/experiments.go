@@ -327,10 +327,14 @@ type Figure2Point struct {
 	// zero would mean the run fell back to row-at-a-time execution.
 	Batches int64
 	// SpilledBatches and SpilledBytes count columnar batches (and their
-	// encoded size) written to spill files; zero under the default unlimited
-	// memory budget, where every partition stays resident.
-	SpilledBatches int64
-	SpilledBytes   int64
+	// physical on-disk size) written to spill files; zero under the default
+	// unlimited memory budget, where every partition stays resident.
+	// SpillLogicalBytes is the raw (v1-equivalent) size of the same batches —
+	// the physical/logical pair records the spill codec's compression ratio
+	// in every committed artifact.
+	SpilledBatches    int64
+	SpilledBytes      int64
+	SpillLogicalBytes int64
 	// SortRuns counts the sorted runs the pipeline's ordered-reporting tail
 	// spilled and merged; zero when the sort ran columnar in-memory (the
 	// default unlimited budget) and non-zero on the spill-ablation point,
@@ -378,6 +382,7 @@ func RunFigure2(ctx context.Context, e *Env, workerSweep []int, rowSweep []int) 
 			Batches:              run.stats.Batches,
 			SpilledBatches:       run.stats.SpilledBatches,
 			SpilledBytes:         run.stats.SpilledBytes,
+			SpillLogicalBytes:    run.stats.SpillLogicalBytes,
 			SortRuns:             run.stats.SortRuns,
 			AggGroups:            run.stats.AggGroups,
 			AggSpilledPartitions: run.stats.AggSpilledPartitions,
@@ -522,6 +527,8 @@ func (f *Figure2) String() string {
 			fmt.Sprintf("%d", p.BroadcastJoins),
 			fmt.Sprintf("%d", p.Batches),
 			fmt.Sprintf("%d", p.SpilledBatches),
+			fmt.Sprintf("%d", p.SpilledBytes),
+			fmt.Sprintf("%d", p.SpillLogicalBytes),
 			fmt.Sprintf("%d", p.SortRuns),
 			fmt.Sprintf("%d", p.AggGroups),
 			fmt.Sprintf("%d", p.AggSpilledPartitions),
@@ -529,7 +536,7 @@ func (f *Figure2) String() string {
 		})
 	}
 	return "Figure 2 — dataflow engine scalability (filter → join → group-by → sort pipeline)\n" +
-		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches", "spilled", "sort runs", "agg groups", "agg spills", "allocs"}, rows)
+		renderTable([]string{"rows", "workers", "wall", "rows/s", "speedup", "shuffled", "bcast joins", "batches", "spilled", "spill B", "spill logical B", "sort runs", "agg groups", "agg spills", "allocs"}, rows)
 }
 
 // ---------------------------------------------------------------------------

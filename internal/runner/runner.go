@@ -39,10 +39,11 @@ var (
 
 // Runner executes alternatives against a data catalog.
 type Runner struct {
-	data         *storage.Catalog
-	seed         int64
-	failureRate  float64
-	memoryBudget int64
+	data             *storage.Catalog
+	seed             int64
+	failureRate      float64
+	memoryBudget     int64
+	spillCompression bool
 }
 
 // Option configures the runner.
@@ -67,12 +68,20 @@ func WithMemoryBudget(bytes int64) Option {
 	return func(r *Runner) { r.memoryBudget = bytes }
 }
 
+// WithSpillCompression toggles the compressed spill frame codec on the
+// dataflow engines the runner builds (default on; see
+// dataflow.WithSpillCompression). Only observable when a memory budget makes
+// wide operators spill.
+func WithSpillCompression(enabled bool) Option {
+	return func(r *Runner) { r.spillCompression = enabled }
+}
+
 // New returns a runner bound to the data catalog.
 func New(data *storage.Catalog, opts ...Option) (*Runner, error) {
 	if data == nil {
 		return nil, fmt.Errorf("%w: nil data catalog", ErrBadRun)
 	}
-	r := &Runner{data: data, seed: 1}
+	r := &Runner{data: data, seed: 1, spillCompression: true}
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -117,7 +126,8 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	}
 	engine, err := dataflow.NewEngine(cl,
 		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
-		dataflow.WithMemoryBudget(r.memoryBudget))
+		dataflow.WithMemoryBudget(r.memoryBudget),
+		dataflow.WithSpillCompression(r.spillCompression))
 	if err != nil {
 		return nil, fmt.Errorf("runner: build engine: %w", err)
 	}
@@ -158,6 +168,7 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	snap := engine.Metrics().Snapshot()
 	engineStats.SpilledBatches = snap.CounterValue("spill.batches")
 	engineStats.SpilledBytes = snap.CounterValue("spill.bytes")
+	engineStats.SpillLogicalBytes = snap.CounterValue("spill.bytes.logical")
 
 	measured := sla.Measurement{
 		model.IndicatorAccuracy: accuracy,
@@ -209,7 +220,8 @@ func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (st
 	}
 	engine, err := dataflow.NewEngine(cl,
 		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
-		dataflow.WithMemoryBudget(r.memoryBudget))
+		dataflow.WithMemoryBudget(r.memoryBudget),
+		dataflow.WithSpillCompression(r.spillCompression))
 	if err != nil {
 		return "", fmt.Errorf("runner: build engine: %w", err)
 	}

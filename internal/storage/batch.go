@@ -45,6 +45,17 @@ func (m *nullBitmap) set(i int) {
 // Column is one typed vector of a ColumnBatch. Exactly one of the value
 // slices is in use, selected by the column's field type (TypeTime shares the
 // int64 vector).
+//
+// String columns decoded from v2 spill frames (frame.go) additionally carry
+// the frame's sorted unique-value dictionary and the per-row codes into it:
+// strs[i] == dict[codes[i]], dict is strictly ascending, so within one frame
+// code equality is string equality and code order is string order. Operators
+// use this for code-based fast paths (group-by, distinct, sort comparators);
+// dictionaries from different frames are unrelated, so codes must never be
+// compared across columns unless DictShared reports the same backing
+// dictionary. Builder-constructed columns have no dictionary, and the
+// read-only-after-construction contract keeps dict/codes consistent with
+// strs.
 type Column struct {
 	typ    FieldType
 	ints   []int64
@@ -52,13 +63,35 @@ type Column struct {
 	strs   []string
 	bools  []bool
 	nulls  nullBitmap
+	dict   []string
+	codes  []uint32
 }
 
 // Type returns the column's field type.
 func (c *Column) Type() FieldType { return c.typ }
 
+// Dict returns the column's sorted per-frame dictionary, or nil when the
+// column is not dictionary-backed. Read-only.
+func (c *Column) Dict() []string { return c.dict }
+
+// Codes returns the per-row dictionary codes of a dictionary-backed column
+// (nil otherwise). Only indices below the owning batch's Len are meaningful —
+// Head views share longer parent vectors. Read-only.
+func (c *Column) Codes() []uint32 { return c.codes }
+
+// DictShared reports whether a and b are backed by the same dictionary (the
+// same decoded frame), which is the precondition for comparing their codes.
+func DictShared(a, b *Column) bool {
+	return len(a.dict) > 0 && len(a.dict) == len(b.dict) && &a.dict[0] == &b.dict[0]
+}
+
 // Null reports whether row i of the column is null.
 func (c *Column) Null(i int) bool { return c.nulls.get(i) }
+
+// HasNulls reports whether the column carries a null bitmap at all. False
+// guarantees every row is non-null; true only means some row may be (the
+// bitmap is allocated on the first null and never dropped).
+func (c *Column) HasNulls() bool { return len(c.nulls) > 0 }
 
 // Int returns row i of an int/time column (0 when null).
 func (c *Column) Int(i int) int64 { return c.ints[i] }

@@ -27,6 +27,14 @@ type GroupTable struct {
 	keyIdx    []int
 	keyRows   *ColumnBatch
 	keyBytes  int64
+
+	// codeCache maps a dictionary-backed key column's codes to group ids for
+	// the frame currently being mapped (see MapRange): cacheDict identifies
+	// the dictionary the cache was built for, -1 marks unseen codes. The
+	// table's keys stay the full encoded strings — the cache only skips the
+	// per-row encode+map-lookup for codes already seen in this frame.
+	codeCache []int32
+	cacheDict *string
 }
 
 // NewGroupTable returns an empty table. keySchema describes the key columns
@@ -56,24 +64,59 @@ func (t *GroupTable) MapBatch(b *ColumnBatch, ids []int32) []int32 {
 // group id of row lo+j.
 func (t *GroupTable) MapRange(b *ColumnBatch, lo, hi int, ids []int32) []int32 {
 	ids = ids[:0]
-	for i := lo; i < hi; i++ {
-		k := t.enc.BatchKey(b, i)
-		id, ok := t.ids[string(k)]
-		if !ok {
-			ks := string(k)
-			id = int32(len(t.hashes))
-			t.ids[ks] = id
-			t.hashes = append(t.hashes, HashBytes64(k))
-			t.keys = append(t.keys, ks)
-			t.keyBytes += int64(len(ks))
-			for c, src := range t.keyIdx {
-				t.keyRows.cols[c].appendFrom(&b.cols[src], i, t.keyRows.n)
+	// Code-based fast path: a single dictionary-backed string key without
+	// nulls maps each distinct code through the hash table once per frame;
+	// repeats hit the dense code cache. Grouping stays byte-identical — the
+	// table still stores the encoded string key — because within a frame code
+	// equality is string equality (frame.go's sorted-dictionary invariant),
+	// and a null-free column means codes alone determine the key.
+	if len(t.keyIdx) == 1 {
+		if col := &b.cols[t.keyIdx[0]]; len(col.dict) > 0 && len(col.nulls) == 0 {
+			d0 := &col.dict[0]
+			if t.cacheDict != d0 {
+				t.codeCache = t.codeCache[:0]
+				for range col.dict {
+					t.codeCache = append(t.codeCache, -1)
+				}
+				t.cacheDict = d0
 			}
-			t.keyRows.n++
+			for i := lo; i < hi; i++ {
+				code := col.codes[i]
+				if id := t.codeCache[code]; id >= 0 {
+					ids = append(ids, id)
+					continue
+				}
+				id := t.lookupRow(b, i)
+				t.codeCache[code] = id
+				ids = append(ids, id)
+			}
+			return ids
 		}
-		ids = append(ids, id)
+	}
+	for i := lo; i < hi; i++ {
+		ids = append(ids, t.lookupRow(b, i))
 	}
 	return ids
+}
+
+// lookupRow maps row i of b to its group id, inserting an unseen key with the
+// next dense id and copying its key columns into the table's key batch.
+func (t *GroupTable) lookupRow(b *ColumnBatch, i int) int32 {
+	k := t.enc.BatchKey(b, i)
+	id, ok := t.ids[string(k)]
+	if !ok {
+		ks := string(k)
+		id = int32(len(t.hashes))
+		t.ids[ks] = id
+		t.hashes = append(t.hashes, HashBytes64(k))
+		t.keys = append(t.keys, ks)
+		t.keyBytes += int64(len(ks))
+		for c, src := range t.keyIdx {
+			t.keyRows.cols[c].appendFrom(&b.cols[src], i, t.keyRows.n)
+		}
+		t.keyRows.n++
+	}
+	return id
 }
 
 // Groups returns the number of distinct groups seen since the last Reset.
@@ -106,4 +149,6 @@ func (t *GroupTable) Reset() {
 	t.keys = nil
 	t.keyBytes = 0
 	t.keyRows = NewColumnBatch(t.keySchema, 0)
+	// Cached ids are dense ids of the dropped generation — invalidate.
+	t.cacheDict = nil
 }

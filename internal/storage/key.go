@@ -151,6 +151,11 @@ func NewKeyEncoder(s *Schema, cols ...string) (*KeyEncoder, error) {
 // from another goroutine.
 func (e *KeyEncoder) Clone() *KeyEncoder { return &KeyEncoder{idx: e.idx} }
 
+// Columns returns the key's column positions, nil when the whole row is the
+// key. Read-only; consumers use it to recognise single-column keys eligible
+// for dictionary-code fast paths.
+func (e *KeyEncoder) Columns() []int { return e.idx }
+
 // AppendKey appends the encoded key of r to dst and returns the extended
 // slice.
 func (e *KeyEncoder) AppendKey(dst []byte, r Row) []byte {

@@ -54,6 +54,7 @@ type RunStore struct {
 	mu     sync.Mutex
 	schema *Schema
 	budget int64
+	codec  CodecOptions
 	runs   []*runSlot
 	rows   int
 
@@ -65,6 +66,7 @@ type RunStore struct {
 
 	spilledBatches  int64
 	spilledBytes    int64
+	logicalBytes    int64
 	restoredBatches int64
 
 	encodeBuf []byte
@@ -78,6 +80,15 @@ func NewRunStore(schema *Schema, budget int64) (*RunStore, error) {
 		return nil, fmt.Errorf("%w: run store needs a schema", ErrEmptySchema)
 	}
 	return &RunStore{schema: schema, budget: budget}, nil
+}
+
+// SetCodec selects the batch codec spilled run frames are written with (the
+// zero value is the raw v1 codec). Call before the first AppendRun; reads
+// auto-detect the version.
+func (s *RunStore) SetCodec(c CodecOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.codec = c
 }
 
 // Runs returns the number of sorted runs appended so far.
@@ -101,11 +112,29 @@ func (s *RunStore) SpilledBatches() int64 {
 	return s.spilledBatches
 }
 
-// SpilledBytes returns the encoded bytes written to the spill file.
+// SpilledBytes returns the cumulative physical bytes written to the spill
+// file (encoded, possibly compressed frame lengths).
 func (s *RunStore) SpilledBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spilledBytes
+}
+
+// SpilledLogicalBytes returns the cumulative logical bytes spilled — what the
+// same frames would occupy under the raw v1 codec. Equal to SpilledBytes when
+// compression is off.
+func (s *RunStore) SpilledLogicalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logicalBytes
+}
+
+// FileBytes returns the bytes occupied by the append-only spill file — the
+// store's physical-on-disk high-water mark.
+func (s *RunStore) FileBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fileSize
 }
 
 // RestoredBatches returns the number of frames decoded back during merges.
@@ -185,15 +214,20 @@ func (s *RunStore) spillRunLocked(slot *runSlot) error {
 				frame.AppendRowFrom(slot.batch, i)
 			}
 		}
-		s.encodeBuf = EncodeBatch(s.encodeBuf[:0], frame)
+		s.encodeBuf = EncodeBatchOpts(s.encodeBuf[:0], frame, s.codec)
 		if _, err := s.file.WriteAt(s.encodeBuf, s.fileSize); err != nil {
 			return fmt.Errorf("storage: write run spill file: %w", err)
 		}
 		fl := int64(len(s.encodeBuf))
+		logical := fl
+		if s.codec.Compress {
+			logical = EncodedSizeV1(frame)
+		}
 		slot.frames = append(slot.frames, runFrame{off: s.fileSize, len: fl, rows: end - off})
 		s.fileSize += fl
 		s.spilledBatches++
 		s.spilledBytes += fl
+		s.logicalBytes += logical
 	}
 	slot.cold = true
 	slot.batch = nil

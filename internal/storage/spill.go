@@ -131,15 +131,42 @@ func appendColumnPayload(dst []byte, col *Column, n int) []byte {
 	return dst
 }
 
-// DecodeBatch reconstructs a batch encoded by EncodeBatch. The schema must be
-// the one the batch was encoded under; column count and per-column types are
-// verified against it.
+// DecodeBatch reconstructs a batch encoded by EncodeBatch or EncodeBatchOpts.
+// The version byte selects the codec — v1 raw frames and v2 compressed frames
+// (frame.go) both decode, so spill files written before the codec bump stay
+// readable. The schema must be the one the batch was encoded under; column
+// count and per-column types are verified against it.
 func DecodeBatch(schema *Schema, data []byte) (*ColumnBatch, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("%w: decode needs a schema", ErrEmptySchema)
 	}
-	if len(data) < 2 || data[0] != batchMagic || data[1] != batchVersion {
+	if len(data) < 2 || data[0] != batchMagic {
 		return nil, fmt.Errorf("%w: missing magic/version header", ErrBadBatchEncoding)
+	}
+	if data[1] == batchVersion2 {
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: truncated frame flags", ErrBadBatchEncoding)
+		}
+		flags := data[2]
+		body := data[3:]
+		if flags&^frameFlagBlock != 0 {
+			return nil, fmt.Errorf("%w: unknown frame flags %#x", ErrBadBatchEncoding, flags)
+		}
+		if flags&frameFlagBlock != 0 {
+			rawLen, k := binary.Uvarint(body)
+			if k <= 0 || rawLen > maxFrameBodyBytes {
+				return nil, fmt.Errorf("%w: bad block size", ErrBadBatchEncoding)
+			}
+			decoded, err := lzDecompress(make([]byte, 0, rawLen), body[k:], int(rawLen))
+			if err != nil {
+				return nil, err
+			}
+			body = decoded
+		}
+		return decodeBatchV2(schema, body)
+	}
+	if data[1] != batchVersion {
+		return nil, fmt.Errorf("%w: unsupported codec version %d", ErrBadBatchEncoding, data[1])
 	}
 	data = data[2:]
 	rows, k := binary.Uvarint(data)
@@ -260,6 +287,14 @@ func WithMemoryBudget(bytes int64) StoreOption {
 	return func(s *PartitionStore) { s.budget = bytes }
 }
 
+// WithCodec selects the batch codec spilled batches are written with. The
+// zero value (the default) is the raw v1 codec; CodecOptions{Compress: true}
+// writes v2 compressed frames. Reads auto-detect the version, so the option
+// only affects writes.
+func WithCodec(c CodecOptions) StoreOption {
+	return func(s *PartitionStore) { s.codec = c }
+}
+
 // batchSlot is one sealed batch of a partition: resident (batch != nil) or
 // spilled (an offset/length range of the spill file).
 type batchSlot struct {
@@ -285,6 +320,7 @@ type PartitionStore struct {
 	rows   []int
 
 	budget   int64
+	codec    CodecOptions
 	resident int64
 	// appendOrder tracks resident slots oldest-first, so spilling evicts the
 	// coldest batches.
@@ -295,6 +331,7 @@ type PartitionStore struct {
 
 	spilledBatches  int64
 	spilledBytes    int64
+	logicalBytes    int64
 	restoredBatches int64
 
 	encodeBuf []byte
@@ -337,11 +374,33 @@ func (s *PartitionStore) SpilledBatches() int64 {
 	return s.spilledBatches
 }
 
-// SpilledBytes returns the encoded bytes written to the spill file.
+// SpilledBytes returns the cumulative physical bytes written to the spill
+// file: every eviction adds its encoded (possibly compressed) length, and
+// restores never subtract — this is write traffic, not occupancy.
 func (s *PartitionStore) SpilledBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spilledBytes
+}
+
+// SpilledLogicalBytes returns the cumulative logical bytes spilled: the size
+// the same batches would occupy under the raw v1 codec. The physical/logical
+// ratio is the spill compression ratio; with compression off the two are
+// equal.
+func (s *PartitionStore) SpilledLogicalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logicalBytes
+}
+
+// FileBytes returns the bytes currently occupied by the spill file. The file
+// is append-only and never truncated, so this is also the store's
+// physical-on-disk high-water mark (and equals SpilledBytes for a single
+// store; the distinction matters at the run level, where stores come and go).
+func (s *PartitionStore) FileBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fileSize
 }
 
 // RestoredBatches returns the number of spilled batches decoded back on read.
@@ -397,9 +456,13 @@ func (s *PartitionStore) spillLocked(slot *batchSlot) error {
 		}
 		s.file = f
 	}
-	s.encodeBuf = EncodeBatch(s.encodeBuf[:0], slot.batch)
+	s.encodeBuf = EncodeBatchOpts(s.encodeBuf[:0], slot.batch, s.codec)
 	if _, err := s.file.WriteAt(s.encodeBuf, s.fileSize); err != nil {
 		return fmt.Errorf("storage: write spill file: %w", err)
+	}
+	logical := int64(len(s.encodeBuf))
+	if s.codec.Compress {
+		logical = EncodedSizeV1(slot.batch)
 	}
 	slot.off = s.fileSize
 	slot.len = int64(len(s.encodeBuf))
@@ -409,6 +472,7 @@ func (s *PartitionStore) spillLocked(slot *batchSlot) error {
 	s.resident -= slot.mem
 	s.spilledBatches++
 	s.spilledBytes += slot.len
+	s.logicalBytes += logical
 	return nil
 }
 

@@ -199,6 +199,13 @@ type Config struct {
 	// budget spill to temp files and are restored transparently on read.
 	// <= 0 (the default) disables spilling.
 	MemoryBudget int64
+	// DisableSpillCompression turns off the compressed spill frame codec
+	// (dictionary strings, delta ints, RLE bitmaps — on by default), so
+	// spilled batches are written in the raw v1 layout. Only observable when
+	// MemoryBudget makes wide operators spill; reads accept both formats
+	// either way. Kept as a disable flag so the zero-value Config gets the
+	// compressed default.
+	DisableSpillCompression bool
 }
 
 // Platform is the BDAaaS entry point: it owns the data catalog, the service
@@ -223,7 +230,8 @@ func New(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	run, err := runner.New(data, runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate),
-		runner.WithMemoryBudget(cfg.MemoryBudget))
+		runner.WithMemoryBudget(cfg.MemoryBudget),
+		runner.WithSpillCompression(!cfg.DisableSpillCompression))
 	if err != nil {
 		return nil, err
 	}
