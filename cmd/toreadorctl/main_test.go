@@ -206,6 +206,57 @@ func TestCLIExplainBudgetedSortStrategy(t *testing.T) {
 	}
 }
 
+// TestCLIExplainClusteringIteratePlan drives explain over a clustering
+// campaign: the analytics stage runs on the engine's Iterate node, so the
+// rendered plan must show the iterate operator with its loop-carried body
+// sub-plan (centroid aggregation, broadcast join, reassignment). With
+// -engine-clustering=false the analytics stage runs off-engine and the
+// iterate section must disappear.
+func TestCLIExplainClusteringIteratePlan(t *testing.T) {
+	campaign := &model.Campaign{
+		Name:     "cli-segments",
+		Vertical: "telco",
+		Goal: model.Goal{
+			Task:           model.TaskClustering,
+			TargetTable:    "telco_customers",
+			FeatureColumns: []string{"monthly_charge", "data_usage_gb", "tenure_months"},
+		},
+		Sources: []model.DataSource{{Table: "telco_customers", ContainsPersonalData: true, Region: "eu"}},
+		Regime:  model.RegimePseudonymize,
+	}
+	path := filepath.Join(t.TempDir(), "segments.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := campaign.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-campaign", path, "-customers", "300", "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"analytics stage (clustering):",
+		"Iterate [iterate (maxIter=",
+		"body (re-executed per iteration):",
+		"LoopState(",
+		"GroupBy(keys=[cluster]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clustering explain output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = runCLI(t, "-campaign", path, "-customers", "300", "-engine-clustering=false", "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Iterate [iterate") {
+		t.Errorf("ablation arm must not plan an iterate stage:\n%s", out)
+	}
+}
+
 func TestCLIAlternativesInterferencePlan(t *testing.T) {
 	campaign := writeCampaignFile(t)
 	out, err := runCLI(t, "-campaign", campaign, "-customers", "300", "alternatives")

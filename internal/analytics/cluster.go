@@ -65,29 +65,44 @@ func (m *KMeans) Fit(x Matrix) error {
 }
 
 func (m *KMeans) initCentroids(x Matrix, rng *rand.Rand) Matrix {
-	rows, cols := x.Dims()
+	rows, _ := x.Dims()
 	centroids := make(Matrix, 0, m.K)
 	first := rng.Intn(rows)
 	centroids = append(centroids, append([]float64(nil), x[first]...))
+	if m.K == 1 {
+		return centroids
+	}
+	// dists[i] caches the distance from x[i] to its nearest chosen centroid.
+	// Each round only folds in the newest centroid, so seeding runs O(K·N)
+	// distance evaluations instead of recomputing every pairwise distance per
+	// round. The running min folds centroids in the same order the full
+	// recomputation scanned them, so the cached values (and the centroids
+	// picked from them) are bit-identical to the pre-cache behaviour.
+	dists := make([]float64, rows)
+	for i, row := range x {
+		dists[i] = euclidean(row, centroids[0])
+	}
 	for len(centroids) < m.K {
-		// Pick the point farthest (in squared distance) from its nearest
-		// chosen centroid — a deterministic variant of k-means++.
+		// Pick the point farthest from its nearest chosen centroid — a
+		// deterministic variant of k-means++.
 		bestIdx, bestDist := 0, -1.0
-		for i, row := range x {
-			d := math.Inf(1)
-			for _, c := range centroids {
-				if dd := euclidean(row, c); dd < d {
-					d = dd
-				}
-			}
+		for i, d := range dists {
 			if d > bestDist {
 				bestDist = d
 				bestIdx = i
 			}
 		}
-		centroids = append(centroids, append([]float64(nil), x[bestIdx]...))
+		c := append([]float64(nil), x[bestIdx]...)
+		centroids = append(centroids, c)
+		if len(centroids) == m.K {
+			break
+		}
+		for i, row := range x {
+			if dd := euclidean(row, c); dd < dists[i] {
+				dists[i] = dd
+			}
+		}
 	}
-	_ = cols
 	return centroids
 }
 

@@ -1,0 +1,184 @@
+package analytics
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+)
+
+func testEngine(t *testing.T, opts ...dataflow.EngineOption) *dataflow.Engine {
+	t.Helper()
+	c, err := cluster.New(cluster.Uniform(2, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dataflow.NewEngine(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// naiveInitCentroids is the pre-cache O(K²·N) seeding: every round recomputes
+// each point's distance to every chosen centroid from scratch. The cached
+// implementation in initCentroids must reproduce it bit for bit.
+func naiveInitCentroids(x Matrix, k int, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	rows, _ := x.Dims()
+	centroids := make(Matrix, 0, k)
+	first := rng.Intn(rows)
+	centroids = append(centroids, append([]float64(nil), x[first]...))
+	for len(centroids) < k {
+		bestIdx, bestDist := 0, -1.0
+		for i, row := range x {
+			minDist := euclidean(row, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := euclidean(row, c); d < minDist {
+					minDist = d
+				}
+			}
+			if minDist > bestDist {
+				bestDist = minDist
+				bestIdx = i
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), x[bestIdx]...))
+	}
+	return centroids
+}
+
+func TestKMeansSeedingDeterministic(t *testing.T) {
+	x, _ := threeBlobs(40, 11)
+	for _, seed := range []int64{0, 1, 42, 1234} {
+		for _, k := range []int{1, 2, 3, 5} {
+			km := &KMeans{K: k, Seed: seed}
+			rng := rand.New(rand.NewSource(seed))
+			got := km.initCentroids(x, rng)
+			want := naiveInitCentroids(x, k, seed)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d k=%d: cached seeding diverged\n got %v\nwant %v", seed, k, got, want)
+			}
+			// A second run from the same seed must pin identical centroids.
+			again := km.initCentroids(x, rand.New(rand.NewSource(seed)))
+			if !reflect.DeepEqual(got, again) {
+				t.Fatalf("seed=%d k=%d: seeding not deterministic", seed, k)
+			}
+		}
+	}
+}
+
+func TestEngineKMeansMatchesHandRolled(t *testing.T) {
+	x, _ := threeBlobs(40, 9)
+	for _, seed := range []int64{1, 7, 42} {
+		hand := &KMeans{K: 3, Seed: seed}
+		if err := hand.Fit(x); err != nil {
+			t.Fatal(err)
+		}
+		handAssign, err := hand.Assignments(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handCents := hand.Centroids()
+
+		em := &EngineKMeans{K: 3, Seed: seed}
+		res, err := em.Fit(context.Background(), testEngine(t), x)
+		if err != nil {
+			t.Fatalf("seed=%d: engine fit: %v", seed, err)
+		}
+		if !reflect.DeepEqual(res.Assignments, handAssign) {
+			t.Fatalf("seed=%d: engine assignments diverge from hand-rolled", seed)
+		}
+		if !reflect.DeepEqual(res.Centroids, handCents) {
+			t.Fatalf("seed=%d: engine centroids diverge\n got %v\nwant %v", seed, res.Centroids, handCents)
+		}
+		if res.Stats.IterateLoops < 1 || res.Stats.IterateIterations < 1 {
+			t.Fatalf("seed=%d: iterate stats not recorded: %+v", seed, res.Stats)
+		}
+		if !res.Stats.IterateConverged {
+			t.Fatalf("seed=%d: engine k-means did not converge on separated blobs", seed)
+		}
+	}
+}
+
+func TestEngineKMeansBudgetedMatchesUnbudgeted(t *testing.T) {
+	x, _ := threeBlobs(30, 21)
+	fit := func(e *dataflow.Engine) *EngineKMeansResult {
+		em := &EngineKMeans{K: 3, Seed: 5}
+		res, err := em.Fit(context.Background(), e, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := fit(testEngine(t))
+	tight := fit(testEngine(t, dataflow.WithMemoryBudget(1)))
+	if !reflect.DeepEqual(plain.Assignments, tight.Assignments) {
+		t.Fatal("budgeted engine k-means assignments diverge from unbudgeted")
+	}
+	if !reflect.DeepEqual(plain.Centroids, tight.Centroids) {
+		t.Fatal("budgeted engine k-means centroids diverge from unbudgeted")
+	}
+	if tight.Stats.SpilledBatches == 0 {
+		t.Fatalf("1-byte budget fit never spilled: %+v", tight.Stats)
+	}
+}
+
+func TestEngineKMeansSingleIteration(t *testing.T) {
+	x, _ := threeBlobs(20, 3)
+	hand := &KMeans{K: 3, Seed: 2, MaxIterations: 1}
+	if err := hand.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	handAssign, err := hand.Assignments(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := &EngineKMeans{K: 3, Seed: 2, MaxIterations: 1}
+	res, err := em.Fit(context.Background(), testEngine(t), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxIterations=1 runs no engine loop at all: assignments come from the
+	// host-side seeding pass and centroids from one aggregation over it.
+	if res.Stats.IterateLoops != 0 {
+		t.Fatalf("expected no iterate loop, got %+v", res.Stats)
+	}
+	if !reflect.DeepEqual(res.Centroids, hand.Centroids()) {
+		t.Fatal("single-iteration centroids diverge from hand-rolled")
+	}
+	_ = handAssign
+}
+
+func TestEngineKMeansBadInput(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+	if _, err := (&EngineKMeans{K: 0, Seed: 1}).Fit(ctx, eng, Matrix{{1}}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := (&EngineKMeans{K: 5, Seed: 1}).Fit(ctx, eng, Matrix{{1}, {2}}); err == nil {
+		t.Fatal("K>rows must fail")
+	}
+	if _, err := (&EngineKMeans{K: 1, Seed: 1}).Fit(ctx, nil, Matrix{{1}}); err == nil {
+		t.Fatal("nil engine must fail")
+	}
+}
+
+func TestEngineKMeansPlanExplains(t *testing.T) {
+	x, _ := threeBlobs(5, 1)
+	em := &EngineKMeans{K: 2, Seed: 1}
+	plan, err := em.Plan(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := testEngine(t).Explain(plan)
+	for _, want := range []string{"Iterate [iterate (maxIter=", "LoopState", "GroupBy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

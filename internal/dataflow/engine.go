@@ -359,6 +359,20 @@ func NewEngine(c *cluster.Cluster, opts ...EngineOption) (*Engine, error) {
 // Metrics exposes the engine's metric registry (rows read, shuffled, tasks…).
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
+// Derive returns a copy of the engine with the given options applied on top
+// of this engine's configuration. The copy shares the cluster and the metrics
+// registry, so derived engines are cheap and their executions fold into the
+// same counters — the analytics layer uses this to run sub-plans that need a
+// specific switch (e.g. map-side combine off for bit-exact float
+// aggregation) without rebuilding the engine stack.
+func (e *Engine) Derive(opts ...EngineOption) *Engine {
+	ne := *e
+	for _, opt := range opts {
+		opt(&ne)
+	}
+	return &ne
+}
+
 // Stats summarises the execution of a single action.
 type Stats struct {
 	// RowsRead is the number of source rows scanned.
@@ -433,6 +447,25 @@ type Stats struct {
 	// so per store this is simply its final file size; across stores the
 	// engine keeps the maximum.
 	SpillFilePeakBytes int64
+	// IterateLoops is the number of Iterate nodes the action executed.
+	IterateLoops int64
+	// IterateIterations is the total number of body passes Iterate nodes ran
+	// (summed across loops; a loop that converges on its third pass adds 3).
+	IterateIterations int64
+	// IterateDeltaRows is the number of loop-state rows that lived in changed
+	// partitions across all iterations — the rows delta detection actually had
+	// to re-fingerprint as new. With delta detection off every output row of
+	// every pass counts.
+	IterateDeltaRows int64
+	// IterateShortCircuitPartitions is the number of partition re-executions
+	// delta detection skipped because the partition's input batch was
+	// fingerprint-identical to the previous pass (partition-local bodies
+	// only).
+	IterateShortCircuitPartitions int64
+	// IterateConverged reports whether every Iterate loop in the action
+	// reached its convergence predicate before the max-iteration bound. False
+	// when no Iterate node ran (check IterateLoops).
+	IterateConverged bool
 	// WallTime is the end-to-end execution time of the action.
 	WallTime time.Duration
 }
@@ -469,6 +502,35 @@ func (r *Result) Records() []Record {
 type execState struct {
 	mu    sync.Mutex
 	stats Stats
+	// loopState binds each loopSourceNode to the current iteration's state
+	// partitions while its Iterate loop runs. Keyed on the node rather than
+	// stored in it, so concurrent actions over the same plan never share
+	// mutable state.
+	loopState map[*loopSourceNode][]part
+}
+
+// bindLoop points the loop placeholder at the partitions the next body pass
+// reads as its input.
+func (s *execState) bindLoop(n *loopSourceNode, parts []part) {
+	s.mu.Lock()
+	if s.loopState == nil {
+		s.loopState = make(map[*loopSourceNode][]part, 1)
+	}
+	s.loopState[n] = parts
+	s.mu.Unlock()
+}
+
+func (s *execState) unbindLoop(n *loopSourceNode) {
+	s.mu.Lock()
+	delete(s.loopState, n)
+	s.mu.Unlock()
+}
+
+func (s *execState) loopBinding(n *loopSourceNode) ([]part, bool) {
+	s.mu.Lock()
+	parts, ok := s.loopState[n]
+	s.mu.Unlock()
+	return parts, ok
 }
 
 func (s *execState) addRead(n int)     { s.mu.Lock(); s.stats.RowsRead += int64(n); s.mu.Unlock() }
@@ -535,6 +597,24 @@ func (s *execState) addSpilled(batches, bytes, logical int64) {
 	s.stats.SpillLogicalBytes += logical
 	s.mu.Unlock()
 }
+
+// noteIterate folds one Iterate loop's totals into the stats.
+// IterateConverged is the conjunction across loops: one loop that exhausts
+// its bound marks the whole action unconverged.
+func (s *execState) noteIterate(iterations, deltaRows, shortCircuit int64, converged bool) {
+	s.mu.Lock()
+	if s.stats.IterateLoops == 0 {
+		s.stats.IterateConverged = converged
+	} else {
+		s.stats.IterateConverged = s.stats.IterateConverged && converged
+	}
+	s.stats.IterateLoops++
+	s.stats.IterateIterations += iterations
+	s.stats.IterateDeltaRows += deltaRows
+	s.stats.IterateShortCircuitPartitions += shortCircuit
+	s.mu.Unlock()
+}
+
 func (s *execState) noteSpillFilePeak(bytes int64) {
 	s.mu.Lock()
 	if bytes > s.stats.SpillFilePeakBytes {
@@ -595,6 +675,9 @@ func (e *Engine) execute(ctx context.Context, d *Dataset) ([]part, *execState, e
 	// Monotonic compression win: logical minus physical bytes. Divide the
 	// logical counter by (logical - saved) for the cumulative ratio.
 	e.reg.Counter("spill.bytes.saved").Add(st.stats.SpillLogicalBytes - st.stats.SpilledBytes)
+	e.reg.Counter("iterate.iterations").Add(st.stats.IterateIterations)
+	e.reg.Counter("iterate.delta.rows").Add(st.stats.IterateDeltaRows)
+	e.reg.Counter("iterate.shortcircuit.partitions").Add(st.stats.IterateShortCircuitPartitions)
 	e.reg.Timer("action.duration").ObserveDuration(st.stats.WallTime)
 	return parts, st, nil
 }
@@ -717,8 +800,14 @@ func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([]part
 		}
 		return e.evalFilter(ctx, n, st)
 	case *mapNode:
+		if e.vectorize {
+			return e.evalSingleOpVectorized(ctx, n, n.child, st)
+		}
 		return e.evalMap(ctx, n, st)
 	case *flatMapNode:
+		if e.vectorize {
+			return e.evalSingleOpVectorized(ctx, n, n.child, st)
+		}
 		return e.evalFlatMap(ctx, n, st)
 	case *projectNode:
 		if e.vectorize {
@@ -747,6 +836,14 @@ func (e *Engine) eval(ctx context.Context, node planNode, st *execState) ([]part
 		return append(append([]part{}, left...), right...), nil
 	case *limitNode:
 		return e.evalLimit(ctx, n, st)
+	case *iterateNode:
+		return e.evalIterate(ctx, n, st)
+	case *loopSourceNode:
+		parts, ok := st.loopBinding(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: loop state referenced outside its Iterate", ErrBadPlan)
+		}
+		return parts, nil
 	case *distinctNode:
 		return e.evalDistinct(ctx, n, st)
 	case *sortNode:
@@ -791,9 +888,11 @@ func (e *Engine) evalSource(n *sourceNode, st *execState) ([]part, error) {
 // to row-at-a-time execution even under vectorized execution; wrapping the
 // single operator as a one-op chain reuses runVectorizedChain unchanged, so
 // the unfused ablation arm now isolates the scheduling cost of per-operator
-// jobs instead of conflating it with boxed-row execution. Only operators
-// with a batch kernel route here (filter, project, with_column, sample);
-// Map/FlatMap closures keep their row paths when unfused.
+// jobs instead of conflating it with boxed-row execution. Every narrow
+// operator routes here now: filter, project, with_column and sample run pure
+// column kernels, while Map/FlatMap closures read through zero-copy batch
+// views and append into typed output vectors, exactly as they do inside
+// fused stages.
 func (e *Engine) evalSingleOpVectorized(ctx context.Context, op planNode, child planNode, st *execState) ([]part, error) {
 	return e.evalFusedVectorized(ctx, fusedChain{ops: []planNode{op}, base: child, limit: -1}, st)
 }

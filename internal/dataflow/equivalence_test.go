@@ -303,6 +303,61 @@ func TestSampleUnfusedVectorizedEquivalence(t *testing.T) {
 	}
 }
 
+// TestMapFlatMapUnfusedVectorizedEquivalence pins the unfused Map/FlatMap
+// routing: with the stage compiler off, a lone Map or FlatMap stage now runs
+// through the vectorized single-operator path (closures reading zero-copy
+// batch views, outputs appended into typed vectors) instead of dropping to
+// boxed rows, and must reproduce the row implementation exactly — same rows,
+// same order, batches actually processed.
+func TestMapFlatMapUnfusedVectorizedEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(400); seed < 406; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := genSchema(rng)
+			rows := genRows(rng, schema, 200+rng.Intn(400))
+			fields := schema.Fields()
+			plan := FromRows("mapequiv", schema, rows, 1+rng.Intn(5)).
+				Map("rebuild", schema, func(r Record) (storage.Row, error) {
+					row := make(storage.Row, len(fields))
+					for c, f := range fields {
+						row[c] = r.Value(f.Name)
+					}
+					return row, nil
+				}).
+				FlatMap("dup-large", schema, func(r Record) ([]storage.Row, error) {
+					row := r.Row()
+					if !r.IsNull("c1") && r.Float("c1") > 25 {
+						return []storage.Row{row, row.Clone()}, nil
+					}
+					return []storage.Row{row}, nil
+				})
+
+			engines := equivalenceEngines(t)
+			base, err := engines["unfused"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := engines["unfused-vec"].Collect(ctx, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Rows) != len(base.Rows) {
+				t.Fatalf("unfused-vec rows = %d, unfused row arm = %d", len(got.Rows), len(base.Rows))
+			}
+			for i := range got.Rows {
+				if !reflect.DeepEqual(got.Rows[i], base.Rows[i]) {
+					t.Fatalf("unfused-vec row %d = %#v, want %#v", i, got.Rows[i], base.Rows[i])
+				}
+			}
+			if got.Stats.Batches == 0 {
+				t.Error("unfused vectorized Map/FlatMap processed no batches — fell back to rows?")
+			}
+		})
+	}
+}
+
 // TestSortEquivalenceHeavyDuplicates is the sort-focused arm of the suite:
 // random multi-key sorts over schemas whose key columns carry heavy
 // duplicates (and nulls), executed columnar, row-at-a-time, unfused

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -335,6 +336,46 @@ func TestFigure5ServiceLoad(t *testing.T) {
 		t.Errorf("4 tenants: expected overload pushback, got %+v", high)
 	}
 	if !strings.Contains(fig.String(), "Figure 5") {
+		t.Errorf("rendering missing title:\n%s", fig.String())
+	}
+}
+
+func TestFigure6IterativeDataflow(t *testing.T) {
+	e := smallEnv(t)
+	fig, err := RunFigure6(context.Background(), e, []int{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pipelines × {resident, budgeted}.
+	if len(fig.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(fig.Points))
+	}
+	byKey := map[string]Figure6Point{}
+	for _, p := range fig.Points {
+		if !p.Converged {
+			t.Errorf("%s rows=%d budgeted=%v did not converge: %+v", p.Pipeline, p.Rows, p.Budgeted, p)
+		}
+		if p.Iterations < 2 {
+			t.Errorf("%s: iterations = %d, want a real loop", p.Pipeline, p.Iterations)
+		}
+		byKey[fmt.Sprintf("%s/%v", p.Pipeline, p.Budgeted)] = p
+	}
+	// The partition-local pipeline must demonstrate the delta short-circuit;
+	// its budgeted arm must actually spill loop state.
+	if p := byKey["local-delta/false"]; p.ShortCircuitParts == 0 {
+		t.Errorf("local-delta resident arm never short-circuited: %+v", p)
+	}
+	if p := byKey["local-delta/true"]; p.SpilledBatches == 0 {
+		t.Errorf("local-delta budgeted arm never spilled: %+v", p)
+	}
+	// Budgeted and resident arms of the same pipeline agree on convergence
+	// depth — the loop semantics don't change when state spills.
+	for _, pl := range []string{"label-prop", "local-delta"} {
+		if a, b := byKey[pl+"/false"], byKey[pl+"/true"]; a.Iterations != b.Iterations {
+			t.Errorf("%s: resident %d iterations vs budgeted %d", pl, a.Iterations, b.Iterations)
+		}
+	}
+	if !strings.Contains(fig.String(), "Figure 6") {
 		t.Errorf("rendering missing title:\n%s", fig.String())
 	}
 }

@@ -206,6 +206,12 @@ type Config struct {
 	// either way. Kept as a disable flag so the zero-value Config gets the
 	// compressed default.
 	DisableSpillCompression bool
+	// DisableEngineClustering makes the clustering task run on the in-process
+	// hand-rolled KMeans instead of the dataflow engine's Iterate plan (the
+	// default). The two arms are bit-identical on the same seed; the flag is
+	// the ablation switch. Kept as a disable flag so the zero-value Config
+	// gets the engine default.
+	DisableEngineClustering bool
 }
 
 // Platform is the BDAaaS entry point: it owns the data catalog, the service
@@ -231,7 +237,8 @@ func New(cfg Config) (*Platform, error) {
 	}
 	run, err := runner.New(data, runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate),
 		runner.WithMemoryBudget(cfg.MemoryBudget),
-		runner.WithSpillCompression(!cfg.DisableSpillCompression))
+		runner.WithSpillCompression(!cfg.DisableSpillCompression),
+		runner.WithEngineClustering(!cfg.DisableEngineClustering))
 	if err != nil {
 		return nil, err
 	}
