@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-artifact bench-compare fmt vet lint fuzz examples soak serve-smoke ci
+.PHONY: build test race bench bench-artifact bench-compare fmt vet lint fuzz examples soak serve-smoke crash-matrix ci
 
 build:
 	$(GO) build ./...
@@ -54,13 +54,18 @@ lint:
 		$(GO) vet ./...; \
 	fi
 
-# Short coverage-guided fuzz of the spill-frame decoder (both codec versions):
-# DecodeBatch must reject arbitrary corruption with ErrBadBatchEncoding and
-# never panic or over-allocate. The time box keeps the target usable as a
-# pre-commit check; raise FUZZTIME for a longer soak.
+# Short coverage-guided fuzz of the binary decoders: the spill-frame decoder
+# (both codec versions), the manifest WAL decoder and the segment-footer
+# decoder. Each must reject arbitrary corruption with a typed error and never
+# panic or over-allocate; the store targets are seeded from golden files. The
+# time box keeps the target usable as a pre-commit check; raise FUZZTIME for a
+# longer soak. Go fuzzing accepts one -fuzz pattern per package invocation,
+# so the store targets run back to back.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBatch' -fuzztime $(FUZZTIME) ./internal/storage/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeManifest' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSegmentFooter' -fuzztime $(FUZZTIME) ./internal/store/
 
 # Fault-injection soak of the multi-tenant service runtime under the race
 # detector: concurrent tenants, injected cluster faults, a tight memory
@@ -73,6 +78,17 @@ soak:
 # the HTTP surface (submit, stats, graceful shutdown).
 serve-smoke:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestServeSmoke' ./cmd/toreadorctl/
+
+# Crash-recovery proof of the durable segment store under the race detector:
+# the fault-injection matrix crashes (and error-injects) the store at every
+# mutating filesystem operation in the write/commit/checkpoint path under
+# three data-loss models, reopens, and asserts the recovered manifest is
+# exactly the pre- or post-commit state. The recovery edge cases and the
+# toreadorctl tables smoke ride along.
+crash-matrix:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestCrashRecoveryMatrix|TestErrorInjectionMatrix|TestRecover' ./internal/store/
+	$(GO) test -race -count=1 -timeout 5m -run 'TestCLITablesSmoke' ./cmd/toreadorctl/
 
 # Compiles every example main so API drift in the public surface is caught
 # even before their smoke tests run.

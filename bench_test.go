@@ -1221,3 +1221,34 @@ func BenchmarkIterateReachability(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFigure7DurableTables measures the durable-table materialisation
+// loop (Figure 7): run the preparation pipeline, commit the result to the
+// crash-safe segment store, and read it back whole and under a selective
+// zone-map-pruned predicate. The reported metrics are the headline artifact
+// numbers: segments skipped by the pushdown and the verified bit-identity of
+// re-read vs recompute.
+func BenchmarkFigure7DurableTables(b *testing.B) {
+	ctx := context.Background()
+	env := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *experiments.Figure7
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure7(ctx, env, []int{8000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.StopTimer()
+	p := last.Points[len(last.Points)-1]
+	if !p.BitIdentical {
+		b.Fatal("table re-read must be bit-identical to recompute")
+	}
+	if p.SegmentsSkipped == 0 {
+		b.Fatal("selective scan must skip zone-mapped segments")
+	}
+	b.ReportMetric(float64(p.SegmentsSkipped), "segments_skipped")
+	b.ReportMetric(float64(p.FramesSkipped), "frames_skipped")
+}

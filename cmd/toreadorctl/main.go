@@ -11,6 +11,13 @@
 //	toreadorctl -scenario telco -campaign campaign.json interference
 //	toreadorctl -scenario telco -campaign campaign.json plan -strategy greedy
 //	toreadorctl -scenario telco serve -listen 127.0.0.1:8321
+//	toreadorctl -store-dir ./tables tables
+//	toreadorctl -store-dir ./tables -table results/churn -filter "customer_id >= 100" tables
+//
+// tables inspects the durable segment store: without -table it lists the
+// live tables (rows, segments, bytes), with -table it scans one table —
+// optionally under a zone-map-pruned predicate — and reports how many
+// segments and frames the scan skipped.
 //
 // serve starts the long-running multi-tenant analytics service over HTTP:
 // POST /submit?tenant=<name> accepts a campaign JSON body, compiles it and
@@ -20,7 +27,9 @@
 //
 // The -scenario flag registers one or more synthetic vertical scenarios
 // (comma separated) so the campaign's data sources resolve; -repository
-// optionally persists campaigns and run records.
+// optionally persists campaigns and run records; -store-dir opens the
+// crash-safe segment store, making every run save its prepared dataset as the
+// durable table results/<campaign>.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 
 	toreador "repro"
 	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 func main() {
@@ -59,15 +70,19 @@ func run(args []string, out io.Writer) error {
 		queueDepth = fs.Int("queue", 16, "serve: submission queue depth before admission control rejects or sheds")
 		workers    = fs.Int("workers", 2, "serve: concurrent campaign executions")
 		maxRetries = fs.Int("max-retries", 2, "serve: retry budget per campaign for transient failures")
+		storeDir   = fs.String("store-dir", "", "directory of the durable segment store; runs save their prepared data there as results/<campaign>")
+		spillDir   = fs.String("spill-dir", "", "directory for engine spill temp files (default: system temp dir)")
+		tableName  = fs.String("table", "", "tables: scan this table instead of listing all tables")
+		filterExpr = fs.String("filter", "", "tables: predicate pushed into the scan, e.g. \"customer_id >= 100\"")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("missing command: one of compile, run, explain, alternatives, interference, plan, serve")
+		return fmt.Errorf("missing command: one of compile, run, explain, alternatives, interference, plan, serve, tables")
 	}
 	command := fs.Arg(0)
-	if *campaign == "" && command != "serve" {
+	if *campaign == "" && command != "serve" && command != "tables" {
 		return fmt.Errorf("-campaign is required")
 	}
 
@@ -75,6 +90,8 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, RepositoryDir: *repository, MemoryBudget: *memBudget, FailureRate: *failRate,
 		DisableSpillCompression: !*spillComp,
 		DisableEngineClustering: !*engineKM,
+		StoreDir:                *storeDir,
+		SpillDir:                *spillDir,
 	})
 	if err != nil {
 		return err
@@ -91,6 +108,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ctx := context.Background()
+	if command == "tables" {
+		return doTables(out, platform, *tableName, *filterExpr)
+	}
 	if command == "serve" {
 		return doServe(out, platform, serveOptions{
 			listen:     *listen,
@@ -126,6 +146,53 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", command)
 	}
+}
+
+func doTables(out io.Writer, platform *toreador.Platform, table, filter string) error {
+	st := platform.Store()
+	if st == nil {
+		return fmt.Errorf("tables requires -store-dir")
+	}
+	if table == "" {
+		infos := st.Tables()
+		fmt.Fprintf(out, "%d tables:\n", len(infos))
+		for _, ti := range infos {
+			fmt.Fprintf(out, "  %-32s %8d rows %4d segments %10d bytes  (%s)\n",
+				ti.Name, ti.Rows, ti.Segments, ti.Bytes, strings.Join(ti.Columns, ","))
+		}
+		if q := st.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(out, "%d segments quarantined during recovery: %s\n", len(q), strings.Join(q, ", "))
+		}
+		return nil
+	}
+	schema, err := st.Schema(table)
+	if err != nil {
+		return err
+	}
+	var f store.Filter
+	if filter != "" {
+		pred, err := store.ParsePred(filter, schema)
+		if err != nil {
+			return err
+		}
+		f = store.Filter{pred}
+	}
+	rows := 0
+	stats, err := st.Scan(table, f, func(b *storage.ColumnBatch) error {
+		rows += b.Len()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "table:    %s\n", table)
+	if filter != "" {
+		fmt.Fprintf(out, "filter:   %s\n", filter)
+	}
+	fmt.Fprintf(out, "scanned:  %d rows\n", rows)
+	fmt.Fprintf(out, "segments: %d scanned, %d skipped by zone maps/bloom\n", stats.SegmentsScanned, stats.SegmentsSkipped)
+	fmt.Fprintf(out, "frames:   %d scanned, %d skipped\n", stats.FramesScanned, stats.FramesSkipped)
+	return nil
 }
 
 func parseVertical(name string) (toreador.Vertical, error) {

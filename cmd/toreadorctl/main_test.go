@@ -287,6 +287,53 @@ func TestCLIAlternativesInterferencePlan(t *testing.T) {
 	}
 }
 
+func TestCLITablesSmoke(t *testing.T) {
+	campaign := writeCampaignFile(t)
+	storeDir := filepath.Join(t.TempDir(), "tables")
+
+	// tables without a store directory must fail loudly.
+	if _, err := runCLI(t, "tables"); err == nil {
+		t.Error("tables without -store-dir must fail")
+	}
+
+	// A run with -store-dir saves the prepared dataset as a durable table.
+	if _, err := runCLI(t, "-campaign", campaign, "-customers", "300", "-store-dir", storeDir, "run"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The listing survives the process "restart" (a fresh run() invocation
+	// reopens the store from disk through WAL recovery).
+	out, err := runCLI(t, "-customers", "300", "-store-dir", storeDir, "tables")
+	if err != nil {
+		t.Fatalf("tables: %v", err)
+	}
+	if !strings.Contains(out, "results/cli-churn") {
+		t.Fatalf("table listing missing saved table:\n%s", out)
+	}
+
+	// Scanning the saved table with a predicate reports pushdown stats.
+	out, err = runCLI(t, "-customers", "300", "-store-dir", storeDir,
+		"-table", "results/cli-churn", "-filter", "customer_id >= 0", "tables")
+	if err != nil {
+		t.Fatalf("tables scan: %v", err)
+	}
+	if !strings.Contains(out, "scanned:") || !strings.Contains(out, "segments:") {
+		t.Fatalf("scan output missing stats:\n%s", out)
+	}
+	if strings.Contains(out, "scanned:  0 rows") {
+		t.Fatalf("scan returned no rows:\n%s", out)
+	}
+
+	// An unknown table and a malformed filter both surface as errors.
+	if _, err := runCLI(t, "-store-dir", storeDir, "-table", "ghost", "tables"); err == nil {
+		t.Error("scan of unknown table must fail")
+	}
+	if _, err := runCLI(t, "-store-dir", storeDir,
+		"-table", "results/cli-churn", "-filter", "nope", "tables"); err == nil {
+		t.Error("malformed filter must fail")
+	}
+}
+
 func TestParseVertical(t *testing.T) {
 	for _, name := range []string{"telco", "retail", "energy", "web", "finance"} {
 		if _, err := parseVertical(name); err != nil {

@@ -70,6 +70,11 @@ func doServe(out io.Writer, platform *toreador.Platform, opts serveOptions) erro
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, statsText(svc.Stats()))
+		// With a durable store attached, the store.* counters (tables saved,
+		// segments written/scanned/skipped, recovery events) join the report.
+		if st := platform.Store(); st != nil {
+			fmt.Fprint(w, statsText(st.Metrics().Snapshot()))
+		}
 	})
 	mux.HandleFunc("/shutdown", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/procedural"
 	"repro/internal/sla"
 	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 // Errors returned by the compiler.
@@ -48,6 +49,7 @@ type Compiler struct {
 	compliance *compliance.Engine
 	binder     *deployment.Binder
 	data       *storage.Catalog
+	store      *store.Store
 }
 
 // Option configures compiler construction.
@@ -66,6 +68,13 @@ func WithComplianceEngine(e *compliance.Engine) Option {
 // WithBinder overrides the deployment binder.
 func WithBinder(b *deployment.Binder) Option {
 	return func(c *Compiler) { c.binder = b }
+}
+
+// WithDurableStore lets source resolution fall back to tables persisted in
+// the durable segment store when a campaign references a table that is not in
+// the in-memory catalog — typically a prior campaign's saved result.
+func WithDurableStore(st *store.Store) Option {
+	return func(c *Compiler) { c.store = st }
 }
 
 // NewCompiler returns a compiler that resolves data sources against the given
@@ -166,21 +175,40 @@ type sourceInfo struct {
 func (c *Compiler) resolveSources(campaign *model.Campaign) (sourceInfo, error) {
 	info := sourceInfo{sensitivity: storage.Public}
 	for _, src := range campaign.Sources {
-		tbl, err := c.data.Lookup(src.Table)
+		schema, rows, err := c.resolveSource(src.Table)
 		if err != nil {
-			return info, fmt.Errorf("%w: %q", ErrUnknownSource, src.Table)
+			return info, err
 		}
-		if s := tbl.Schema().MaxSensitivity(); s > info.sensitivity {
+		if s := schema.MaxSensitivity(); s > info.sensitivity {
 			info.sensitivity = s
 		}
 		if src.ContainsPersonalData && info.sensitivity < storage.Personal {
 			info.sensitivity = storage.Personal
 		}
 		if src.Table == campaign.Goal.TargetTable {
-			info.rows = tbl.NumRows()
+			info.rows = rows
 		}
 	}
 	return info, nil
+}
+
+// resolveSource finds a source table's schema and row count: the in-memory
+// catalog first, then (when configured) the durable store, so a campaign can
+// declare a prior campaign's persisted result as its source.
+func (c *Compiler) resolveSource(name string) (*storage.Schema, int, error) {
+	if tbl, err := c.data.Lookup(name); err == nil {
+		return tbl.Schema(), tbl.NumRows(), nil
+	}
+	if c.store != nil {
+		if schema, err := c.store.Schema(name); err == nil {
+			ti, err := c.store.Info(name)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: %q", ErrUnknownSource, name)
+			}
+			return schema, ti.Rows, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %q", ErrUnknownSource, name)
 }
 
 // matchResult is the per-area candidate sets found by the matching phase.

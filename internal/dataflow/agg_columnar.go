@@ -741,7 +741,7 @@ func (e *Engine) hashAggPartition(n *groupByNode, bucket int, store *storage.Par
 					st.noteAggPeak(size)
 					if sp == nil {
 						var err error
-						if sp, err = newAggSpill(spillSchema, len(n.keys), budget, e.codec()); err != nil {
+						if sp, err = newAggSpill(spillSchema, len(n.keys), budget, e.codec(), e.spillDir); err != nil {
 							return err
 						}
 					}
@@ -807,9 +807,10 @@ type aggSpill struct {
 	nKeys  int
 }
 
-func newAggSpill(spillSchema *storage.Schema, nKeys int, budget int64, codec storage.CodecOptions) (*aggSpill, error) {
+func newAggSpill(spillSchema *storage.Schema, nKeys int, budget int64, codec storage.CodecOptions, spillDir string) (*aggSpill, error) {
 	ps, err := storage.NewPartitionStore(spillSchema, aggSpillPartitions,
-		storage.WithMemoryBudget(budget), storage.WithCodec(codec))
+		storage.WithMemoryBudget(budget), storage.WithCodec(codec),
+		storage.WithSpillDir(spillDir))
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,10 @@ type Engine struct {
 	// see storage/frame.go). Disabled, spills use the raw v1 layout (the
 	// compression ablation baseline). Decoding accepts both either way.
 	spillCompress bool
+
+	// spillDir places every spill temp file this engine creates ("" keeps
+	// os.TempDir()).
+	spillDir string
 }
 
 // codec returns the batch codec options every spill store created by this
@@ -325,6 +329,14 @@ func WithMemoryBudget(bytes int64) EngineOption {
 // arms compare physical bytes on equal footing.
 func WithSpillCompression(enabled bool) EngineOption {
 	return func(e *Engine) { e.spillCompress = enabled }
+}
+
+// WithSpillDir places every spill temp file the engine creates (shuffle
+// gathers, sort runs, aggregation overflow, loop state) in dir instead of
+// the system temp directory. "" (the default) keeps os.TempDir(); the
+// directory must already exist.
+func WithSpillDir(dir string) EngineOption {
+	return func(e *Engine) { e.spillDir = dir }
 }
 
 // NewEngine returns an engine bound to the given cluster.
@@ -1253,7 +1265,8 @@ func (e *Engine) gatherBatches(in []*storage.ColumnBatch, schema *storage.Schema
 	st.addStage()
 	nParts := e.shufflePartitions
 	store, err := storage.NewPartitionStore(schema, nParts,
-		storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()))
+		storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()),
+		storage.WithSpillDir(e.spillDir))
 	if err != nil {
 		return nil, err
 	}
@@ -1581,7 +1594,8 @@ func (e *Engine) sortInputRows(schema *storage.Schema, parts []part, st *execSta
 		return partsToRows(parts), nil
 	}
 	store, err := storage.NewPartitionStore(schema, len(batches),
-		storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()))
+		storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()),
+		storage.WithSpillDir(e.spillDir))
 	if err != nil {
 		return nil, err
 	}
@@ -1820,6 +1834,7 @@ func (e *Engine) sortPartitionColumnar(schema *storage.Schema, cmp *batchCompara
 		return nil, err
 	}
 	rs.SetCodec(e.codec())
+	rs.SetSpillDir(e.spillDir)
 	defer func() {
 		st.addSpilled(rs.SpilledBatches(), rs.SpilledBytes(), rs.SpilledLogicalBytes())
 		st.noteSpillFilePeak(rs.FileBytes())

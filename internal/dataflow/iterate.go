@@ -261,7 +261,8 @@ func (e *Engine) evalIterate(ctx context.Context, n *iterateNode, st *execState)
 		if useStore && !converged && iterations < int64(n.maxIter) {
 			if batches, ok := batchesOf(next); ok {
 				newStore, err := storage.NewPartitionStore(schema, len(batches),
-					storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()))
+					storage.WithMemoryBudget(e.memoryBudget), storage.WithCodec(e.codec()),
+					storage.WithSpillDir(e.spillDir))
 				if err != nil {
 					return nil, err
 				}

@@ -12,6 +12,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/storage"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -1226,4 +1229,173 @@ func (f *Figure6) String() string {
 	}
 	return "Figure 6 — fixed-point iterative dataflow (Iterate node: delta-aware re-execution, loop-state spill)\n" +
 		renderTable([]string{"pipeline", "rows", "budgeted", "iters", "converged", "delta rows", "short-circuit", "spilled", "wall"}, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — durable tables: recompute vs table-scan
+// ---------------------------------------------------------------------------
+
+// Figure7Point is one materialisation measurement: a preparation pipeline at
+// one input size, executed on the engine (recompute), durably committed to
+// the segment store, and read back — whole and under a selective predicate
+// that exercises zone-map segment pruning.
+type Figure7Point struct {
+	Rows int
+	// RecomputeWall is the engine execution of the preparation pipeline —
+	// the cost a campaign pays every time it has no saved table to read.
+	RecomputeWall time.Duration
+	// SaveWall is the durable commit: segment files written and fsynced,
+	// then the manifest WAL record fsynced (the commit point).
+	SaveWall time.Duration
+	// ScanWall is the full table-scan of the saved segments — the cost of
+	// re-reading instead of recomputing.
+	ScanWall time.Duration
+	// BitIdentical records that the re-read reproduced the recompute exactly,
+	// row for row and value for value.
+	BitIdentical bool
+	// SelectiveWall is a scan under a predicate selecting only the top of the
+	// sort-key range; the zone maps prune every segment that cannot match.
+	SelectiveWall   time.Duration
+	SegmentsScanned int64
+	SegmentsSkipped int64
+	FramesSkipped   int64
+}
+
+// Figure7 is the durable-table experiment: what a campaign saves by scanning
+// a previously persisted result instead of recomputing it, and what the
+// zone-map pushdown saves on top when the read is selective.
+type Figure7 struct{ Points []Figure7Point }
+
+// RunFigure7 sweeps input sizes over a prepare-sort pipeline: each point runs
+// the pipeline on the engine, commits the result to a crash-safe store in a
+// throwaway directory, re-reads it (verifying bit-identity), and scans it
+// under a max-key predicate to measure zone-map segment pruning.
+func RunFigure7(ctx context.Context, e *Env, rowSweep []int) (*Figure7, error) {
+	if len(rowSweep) == 0 {
+		rowSweep = []int{2000, 8000}
+	}
+	const parts = 4
+	schema := storage.MustSchema(
+		storage.Field{Name: "id", Type: storage.TypeInt},
+		storage.Field{Name: "region", Type: storage.TypeString},
+		storage.Field{Name: "value", Type: storage.TypeFloat},
+	)
+	regions := []string{"eu", "us", "apac", "latam"}
+	out := &Figure7{}
+	for _, n := range rowSweep {
+		rows := make([]storage.Row, n)
+		for i := range rows {
+			rows[i] = storage.Row{int64(i), regions[i%len(regions)], float64(i%97) / 9.7}
+		}
+		cfg := cluster.Uniform(1, parts, 0)
+		cfg.Seed = e.Seed
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := dataflow.NewEngine(cl, dataflow.WithShufflePartitions(parts))
+		if err != nil {
+			return nil, err
+		}
+		// The preparation pipeline: drop a third of the rows, rescale, and
+		// sort by id — the sort makes every saved segment a contiguous id
+		// range, which is what gives the zone maps their pruning power.
+		plan := dataflow.FromRows("events", schema, rows, parts).
+			Filter("drop every third", func(r dataflow.Record) (bool, error) {
+				return r.Int("id")%3 != 0, nil
+			}).
+			Map("rescale", schema, func(r dataflow.Record) (storage.Row, error) {
+				return storage.Row{r.Int("id"), r.String("region"), r.Float("value") * 10}, nil
+			}).
+			Sort(dataflow.SortOrder{Column: "id"})
+
+		start := time.Now()
+		res, err := engine.Collect(ctx, plan)
+		if err != nil {
+			return nil, err
+		}
+		recompute := time.Since(start)
+
+		dir, err := os.MkdirTemp("", "toreador-figure7-*")
+		if err != nil {
+			return nil, err
+		}
+		point, err := figure7Measure(dir, schema, res.Rows)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		point.Rows = n
+		point.RecomputeWall = recompute
+		out.Points = append(out.Points, *point)
+	}
+	return out, nil
+}
+
+// figure7Measure commits rows to a fresh store under dir and measures the
+// save, the verified full re-read and the selective zone-pruned scan.
+func figure7Measure(dir string, schema *storage.Schema, rows []storage.Row) (*Figure7Point, error) {
+	st, err := store.Open(dir,
+		store.WithSegmentRows(1024), store.WithFrameRows(256))
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	const table = "figure7/prepared"
+
+	start := time.Now()
+	if err := st.SaveRows(table, schema, rows, store.WithBloomColumn("region")); err != nil {
+		return nil, err
+	}
+	point := &Figure7Point{SaveWall: time.Since(start)}
+
+	start = time.Now()
+	reread, err := st.Rows(table)
+	if err != nil {
+		return nil, err
+	}
+	point.ScanWall = time.Since(start)
+	point.BitIdentical = reflect.DeepEqual(rows, reread)
+
+	maxID := int64(0)
+	idIdx := schema.IndexOf("id")
+	for _, row := range rows {
+		if v := row[idIdx].(int64); v > maxID {
+			maxID = v
+		}
+	}
+	pred, err := store.ParsePred(fmt.Sprintf("id >= %d", maxID), schema)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	stats, err := st.Scan(table, store.Filter{pred}, func(*storage.ColumnBatch) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	point.SelectiveWall = time.Since(start)
+	point.SegmentsScanned = int64(stats.SegmentsScanned)
+	point.SegmentsSkipped = int64(stats.SegmentsSkipped)
+	point.FramesSkipped = int64(stats.FramesSkipped)
+	return point, nil
+}
+
+// String renders the figure data.
+func (f *Figure7) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Rows),
+			p.RecomputeWall.Round(time.Millisecond).String(),
+			p.SaveWall.Round(time.Millisecond).String(),
+			p.ScanWall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%v", p.BitIdentical),
+			p.SelectiveWall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", p.SegmentsScanned),
+			fmt.Sprintf("%d", p.SegmentsSkipped),
+			fmt.Sprintf("%d", p.FramesSkipped),
+		})
+	}
+	return "Figure 7 — durable tables (recompute vs table-scan, zone-map segment pruning)\n" +
+		renderTable([]string{"rows", "recompute", "save", "scan", "bit-identical", "selective", "seg scanned", "seg skipped", "frames skipped"}, rows)
 }

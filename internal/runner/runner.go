@@ -28,6 +28,7 @@ import (
 	"repro/internal/procedural"
 	"repro/internal/sla"
 	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 // Errors returned by the runner.
@@ -40,10 +41,12 @@ var (
 // Runner executes alternatives against a data catalog.
 type Runner struct {
 	data             *storage.Catalog
+	results          *store.Store
 	seed             int64
 	failureRate      float64
 	memoryBudget     int64
 	spillCompression bool
+	spillDir         string
 	engineClustering bool
 }
 
@@ -75,6 +78,22 @@ func WithMemoryBudget(bytes int64) Option {
 // wide operators spill.
 func WithSpillCompression(enabled bool) Option {
 	return func(r *Runner) { r.spillCompression = enabled }
+}
+
+// WithResultStore attaches a durable table store. After every successful run
+// the prepared dataset is saved as the named table ResultTableName(campaign);
+// later campaigns whose target table is absent from the catalog fall back to
+// scanning the store, so a pipeline can consume a prior pipeline's output
+// across process restarts instead of recomputing it.
+func WithResultStore(st *store.Store) Option {
+	return func(r *Runner) { r.results = st }
+}
+
+// WithSpillDir places the dataflow engine's spill temp files in dir instead
+// of the system temp directory (see dataflow.WithSpillDir). "" keeps
+// os.TempDir().
+func WithSpillDir(dir string) Option {
+	return func(r *Runner) { r.spillDir = dir }
 }
 
 // WithEngineClustering toggles running the clustering task on the dataflow
@@ -136,12 +155,13 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	engine, err := dataflow.NewEngine(cl,
 		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
 		dataflow.WithMemoryBudget(r.memoryBudget),
-		dataflow.WithSpillCompression(r.spillCompression))
+		dataflow.WithSpillCompression(r.spillCompression),
+		dataflow.WithSpillDir(r.spillDir))
 	if err != nil {
 		return nil, fmt.Errorf("runner: build engine: %w", err)
 	}
 
-	table, err := r.data.Lookup(campaign.Goal.TargetTable)
+	table, err := r.lookupTable(campaign.Goal.TargetTable)
 	if err != nil {
 		return nil, fmt.Errorf("runner: %w", err)
 	}
@@ -197,6 +217,13 @@ func (r *Runner) Run(ctx context.Context, campaign *model.Campaign, alt core.Alt
 	for k, v := range taskDetails {
 		details[k] = v
 	}
+	if r.results != nil {
+		name := ResultTableName(campaign.Name)
+		if err := r.results.SaveRows(name, prepared.Schema, prepared.Rows); err != nil {
+			return nil, fmt.Errorf("runner: save result table %q: %w", name, err)
+		}
+		details["store.table"] = name
+	}
 
 	return &Report{
 		Campaign:      campaign.Name,
@@ -230,11 +257,12 @@ func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (st
 	engine, err := dataflow.NewEngine(cl,
 		dataflow.WithShufflePartitions(alt.Plan.Parallelism),
 		dataflow.WithMemoryBudget(r.memoryBudget),
-		dataflow.WithSpillCompression(r.spillCompression))
+		dataflow.WithSpillCompression(r.spillCompression),
+		dataflow.WithSpillDir(r.spillDir))
 	if err != nil {
 		return "", fmt.Errorf("runner: build engine: %w", err)
 	}
-	table, err := r.data.Lookup(campaign.Goal.TargetTable)
+	table, err := r.lookupTable(campaign.Goal.TargetTable)
 	if err != nil {
 		return "", fmt.Errorf("runner: %w", err)
 	}
@@ -251,6 +279,26 @@ func (r *Runner) ExplainPlan(campaign *model.Campaign, alt core.Alternative) (st
 		out += "\nanalytics stage (" + string(campaign.Goal.Task) + "):\n" + engine.Explain(plan)
 	}
 	return out, nil
+}
+
+// ResultTableName is the durable-store table name under which a campaign's
+// prepared dataset is saved when a result store is attached.
+func ResultTableName(campaign string) string {
+	return "results/" + campaign
+}
+
+// lookupTable resolves a target table: the in-memory catalog first, then the
+// durable result store (tables saved by earlier campaigns, possibly in a
+// previous process). The catalog's error is preserved when neither has it.
+func (r *Runner) lookupTable(name string) (*storage.Table, error) {
+	table, err := r.data.Lookup(name)
+	if err == nil {
+		return table, nil
+	}
+	if r.results != nil && r.results.Has(name) {
+		return r.results.ReadTable(name)
+	}
+	return nil, err
 }
 
 // analyticsPartitions is the partition count the runner uses when feeding

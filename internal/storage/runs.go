@@ -51,12 +51,14 @@ type runSlot struct {
 // merge of all runs once appending is done. The store is single-use: Close
 // releases the spill file.
 type RunStore struct {
-	mu     sync.Mutex
-	schema *Schema
-	budget int64
-	codec  CodecOptions
-	runs   []*runSlot
-	rows   int
+	mu       sync.Mutex
+	schema   *Schema
+	budget   int64
+	codec    CodecOptions
+	spillDir string
+	closed   bool
+	runs     []*runSlot
+	rows     int
 
 	resident    int64
 	maxResident int64
@@ -89,6 +91,15 @@ func (s *RunStore) SetCodec(c CodecOptions) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.codec = c
+}
+
+// SetSpillDir places the store's spill temp file in dir instead of the
+// system temp directory ("" keeps os.TempDir()). Call before the first
+// AppendRun; the directory must already exist.
+func (s *RunStore) SetSpillDir(dir string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spillDir = dir
 }
 
 // Runs returns the number of sorted runs appended so far.
@@ -193,8 +204,11 @@ func (s *RunStore) noteResidentLocked(delta int64) {
 // spillRunLocked encodes one resident run into runFrameRows-sized frames and
 // releases its memory. Caller holds s.mu.
 func (s *RunStore) spillRunLocked(slot *runSlot) error {
+	if s.closed {
+		return fmt.Errorf("storage: spill to closed run store")
+	}
 	if s.file == nil {
-		f, err := os.CreateTemp("", "toreador-runs-*.bin")
+		f, err := os.CreateTemp(s.spillDir, "toreador-runs-*.bin")
 		if err != nil {
 			return fmt.Errorf("storage: create run spill file: %w", err)
 		}
@@ -457,11 +471,16 @@ func (s *RunStore) Merge(cmp BatchRowCompare, outRows int, emit func(*ColumnBatc
 	return nil
 }
 
-// Close releases the spill file (if one was created). The store must not be
-// used afterwards.
+// Close releases the spill file (if one was created). Idempotent: a second
+// call is a no-op, never a double remove. The store must not be used for
+// appends afterwards.
 func (s *RunStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.file == nil {
 		return nil
 	}

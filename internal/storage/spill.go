@@ -295,6 +295,13 @@ func WithCodec(c CodecOptions) StoreOption {
 	return func(s *PartitionStore) { s.codec = c }
 }
 
+// WithSpillDir places the store's spill temp file in dir instead of the
+// system temp directory. "" (the default) keeps os.TempDir(); the directory
+// must already exist.
+func WithSpillDir(dir string) StoreOption {
+	return func(s *PartitionStore) { s.spillDir = dir }
+}
+
 // batchSlot is one sealed batch of a partition: resident (batch != nil) or
 // spilled (an offset/length range of the spill file).
 type batchSlot struct {
@@ -321,6 +328,8 @@ type PartitionStore struct {
 
 	budget   int64
 	codec    CodecOptions
+	spillDir string
+	closed   bool
 	resident int64
 	// appendOrder tracks resident slots oldest-first, so spilling evicts the
 	// coldest batches.
@@ -449,8 +458,11 @@ func (s *PartitionStore) enforceBudgetLocked() error {
 
 // spillLocked encodes one slot to the spill file and releases its memory.
 func (s *PartitionStore) spillLocked(slot *batchSlot) error {
+	if s.closed {
+		return fmt.Errorf("storage: spill to closed store")
+	}
 	if s.file == nil {
-		f, err := os.CreateTemp("", "toreador-spill-*.bin")
+		f, err := os.CreateTemp(s.spillDir, "toreador-spill-*.bin")
 		if err != nil {
 			return fmt.Errorf("storage: create spill file: %w", err)
 		}
@@ -552,11 +564,16 @@ func (s *PartitionStore) FlattenPartition(p int) (*ColumnBatch, error) {
 	return out, nil
 }
 
-// Close releases the spill file (if one was created). The store must not be
-// used afterwards.
+// Close releases the spill file (if one was created). Idempotent: a second
+// call is a no-op, never a double remove. The store must not be used for
+// appends afterwards.
 func (s *PartitionStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.file == nil {
 		return nil
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/storage"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -212,6 +213,16 @@ type Config struct {
 	// the ablation switch. Kept as a disable flag so the zero-value Config
 	// gets the engine default.
 	DisableEngineClustering bool
+	// StoreDir, when non-empty, opens the durable segment store under that
+	// directory: every campaign run saves its prepared dataset as a named
+	// table (crash-safe via the manifest WAL), and later campaigns may use
+	// those tables as sources — they are scanned back with zone-map filter
+	// pushdown instead of being recomputed.
+	StoreDir string
+	// SpillDir, when non-empty, places the dataflow engine's spill temp files
+	// under that directory instead of the system temp directory. The
+	// directory must exist.
+	SpillDir string
 }
 
 // Platform is the BDAaaS entry point: it owns the data catalog, the service
@@ -219,6 +230,7 @@ type Config struct {
 type Platform struct {
 	cfg      Config
 	data     *storage.Catalog
+	store    *store.Store
 	compiler *core.Compiler
 	runner   *runner.Runner
 	planner  *planner.Planner
@@ -231,14 +243,28 @@ func New(cfg Config) (*Platform, error) {
 		cfg.Seed = 1
 	}
 	data := storage.NewCatalog()
-	compiler, err := core.NewCompiler(data)
+	var st *store.Store
+	var compilerOpts []core.Option
+	runnerOpts := []runner.Option{
+		runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate),
+		runner.WithMemoryBudget(cfg.MemoryBudget),
+		runner.WithSpillCompression(!cfg.DisableSpillCompression),
+		runner.WithSpillDir(cfg.SpillDir),
+		runner.WithEngineClustering(!cfg.DisableEngineClustering),
+	}
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, fmt.Errorf("toreador: open store: %w", err)
+		}
+		compilerOpts = append(compilerOpts, core.WithDurableStore(st))
+		runnerOpts = append(runnerOpts, runner.WithResultStore(st))
+	}
+	compiler, err := core.NewCompiler(data, compilerOpts...)
 	if err != nil {
 		return nil, err
 	}
-	run, err := runner.New(data, runner.WithSeed(cfg.Seed), runner.WithFailureInjection(cfg.FailureRate),
-		runner.WithMemoryBudget(cfg.MemoryBudget),
-		runner.WithSpillCompression(!cfg.DisableSpillCompression),
-		runner.WithEngineClustering(!cfg.DisableEngineClustering))
+	run, err := runner.New(data, runnerOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +272,7 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{cfg: cfg, data: data, compiler: compiler, runner: run, planner: plan}
+	p := &Platform{cfg: cfg, data: data, store: st, compiler: compiler, runner: run, planner: plan}
 	if cfg.RepositoryDir != "" {
 		r, err := repo.Open(cfg.RepositoryDir)
 		if err != nil {
@@ -277,6 +303,10 @@ func (p *Platform) RegisterScenario(v Vertical, sizing Sizing) (*Scenario, error
 
 // Tables lists the registered dataset names.
 func (p *Platform) Tables() []string { return p.data.Names() }
+
+// Store returns the durable segment store, or nil when the platform was built
+// without a StoreDir.
+func (p *Platform) Store() *store.Store { return p.store }
 
 // Compile runs the model-driven transformation: declarative campaign in,
 // chosen alternative plus the full design space out.

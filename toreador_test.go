@@ -109,6 +109,44 @@ func TestPlatformPersistence(t *testing.T) {
 	}
 }
 
+func TestPlatformDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	p := newTelcoPlatform(t, Config{Seed: 5, StoreDir: dir})
+	if p.Store() == nil {
+		t.Fatal("StoreDir must attach a durable store")
+	}
+	if _, _, err := p.Execute(context.Background(), churnCampaign()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Store().Has("results/churn") {
+		t.Fatalf("run did not save its result table; have %v", p.Store().Tables())
+	}
+	rows, err := p.Store().Rows("results/churn")
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("stored rows = %d, %v", len(rows), err)
+	}
+
+	// A second platform on the same directory recovers the saved table and can
+	// compile+run a campaign sourced from it — without re-registering the
+	// original scenario data.
+	p2, err := New(Config{Seed: 5, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Store().Has("results/churn") {
+		t.Fatal("saved table lost across platform restart")
+	}
+	followUp := churnCampaign()
+	followUp.Name = "churn-from-store"
+	followUp.Goal.TargetTable = "results/churn"
+	followUp.Sources = []DataSource{{Table: "results/churn", ContainsPersonalData: true, Region: "eu"}}
+	if _, report, err := p2.Execute(context.Background(), followUp); err != nil {
+		t.Fatal(err)
+	} else if report.RowsProcessed != len(rows) {
+		t.Fatalf("follow-up processed %d rows, stored table has %d", report.RowsProcessed, len(rows))
+	}
+}
+
 func TestOpenLabFacade(t *testing.T) {
 	lab, err := OpenLab(3, Sizing{Customers: 200, Meters: 2, Days: 2, Users: 40})
 	if err != nil {
